@@ -1,0 +1,67 @@
+// Fig. 5 reproduction: histogram of DABS time-to-solution over many
+// independent executions on the K2000-family MaxCut instance.  The paper
+// bins TTS in 0.1 s buckets over [0, 1.7); bins here scale with the
+// measured TTS range.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "problems/maxcut.hpp"
+#include "util/histogram.hpp"
+
+namespace dabs {
+namespace {
+
+namespace pr = problems;
+
+void run() {
+  bench::print_banner("Fig. 5 — TTS histogram, K2000-family MaxCut");
+  const auto inst = bench::full_size()
+                        ? pr::make_k2000()
+                        : pr::make_complete_maxcut(300, 2000, "K300");
+  const QuboModel m = pr::maxcut_to_qubo(inst);
+  bench::note("instance " + inst.name + ": " + m.describe());
+
+  // Reference energy from one long run (paper: s=0.1, b=10).
+  SolverConfig ref_cfg = bench::bench_config(1, 0.1, 10.0);
+  ref_cfg.stop.time_limit_seconds = 8.0 * bench::scale();
+  const Energy ref = DabsSolver(ref_cfg).solve(m).best_energy;
+  bench::note("potentially optimal energy: " + io::fmt_energy(ref) +
+              "  (cut " + io::fmt_energy(-ref) + ")");
+
+  const std::size_t n_trials = bench::trials(30);
+  std::vector<double> tts;
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    SolverConfig c = bench::bench_config(1000 + t, 0.1, 10.0);
+    c.stop.target_energy = ref;
+    c.stop.time_limit_seconds = 8.0 * bench::scale();
+    const SolveResult r = DabsSolver(c).solve(m);
+    if (r.reached_target)
+      tts.push_back(r.tts_seconds);
+    else
+      ++failures;
+  }
+
+  if (tts.empty()) {
+    bench::note("no successful trials at this scale");
+    return;
+  }
+  const double hi = *std::max_element(tts.begin(), tts.end());
+  const double width = std::max(hi / 17.0, 1e-3);  // ~17 bins like Fig. 5
+  Histogram hist(0.0, hi + width, width);
+  for (const double s : tts) hist.add(s);
+  std::cout << "TTS histogram over " << tts.size() << " successful runs ("
+            << failures << " failures):\n"
+            << hist.to_table(3);
+  SummaryStats stats;
+  for (const double s : tts) stats.add(s);
+  std::cout << "TTS " << stats.to_string() << "\n";
+}
+
+}  // namespace
+}  // namespace dabs
+
+int main() {
+  dabs::run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro benchmarks (google-benchmark): the incremental machinery that makes
+// the whole framework viable — O(deg) flips and O(n) scans versus O(n^2)
+// full evaluation (paper §III-A's motivation).
+#include <benchmark/benchmark.h>
+
+#include "ga/genetic_ops.hpp"
+#include "qubo/qubo_builder.hpp"
+#include "qubo/search_state.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dabs {
+namespace {
+
+QuboModel dense_model(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  QuboBuilder b(n);
+  for (VarIndex i = 0; i < n; ++i) {
+    b.add_linear(i, static_cast<Weight>(rng.next_index(9)) - 4);
+    for (VarIndex j = i + 1; j < n; ++j) {
+      b.add_quadratic(i, j, rng.next_bit() ? 1 : -1);
+    }
+  }
+  return b.build();
+}
+
+QuboModel sparse_model(std::size_t n, std::size_t deg, std::uint64_t seed) {
+  Rng rng(seed);
+  QuboBuilder b(n);
+  for (VarIndex i = 0; i < n; ++i) {
+    b.add_linear(i, static_cast<Weight>(rng.next_index(9)) - 4);
+    for (std::size_t d = 0; d < deg; ++d) {
+      const auto j = static_cast<VarIndex>(rng.next_index(n));
+      if (j != i) b.add_quadratic(i, j, rng.next_bit() ? 1 : -1);
+    }
+  }
+  return b.build();
+}
+
+void BM_FullEnergyDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const QuboModel m = dense_model(n, 1);
+  Rng rng(2);
+  const BitVector x = random_bit_vector(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.energy(x));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullEnergyDense)->Arg(128)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_IncrementalFlipDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const QuboModel m = dense_model(n, 3);
+  SearchState s(m);
+  Rng rng(4);
+  s.reset_to(random_bit_vector(n, rng));
+  VarIndex i = 0;
+  for (auto _ : state) {
+    s.flip(i);
+    i = static_cast<VarIndex>((i + 1) % n);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IncrementalFlipDense)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Complexity();
+
+void BM_IncrementalFlipSparse(benchmark::State& state) {
+  // Pegasus-like degree ~15: flips should be ~O(15) regardless of n.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const QuboModel m = sparse_model(n, 8, 5);
+  SearchState s(m);
+  Rng rng(6);
+  s.reset_to(random_bit_vector(n, rng));
+  VarIndex i = 0;
+  for (auto _ : state) {
+    s.flip(i);
+    i = static_cast<VarIndex>((i + 1) % n);
+  }
+}
+BENCHMARK(BM_IncrementalFlipSparse)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_ScanStep1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const QuboModel m = sparse_model(n, 8, 7);
+  SearchState s(m);
+  Rng rng(8);
+  s.reset_to(random_bit_vector(n, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.scan());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScanStep1)->Arg(512)->Arg(2048)->Arg(8192)->Complexity();
+
+void BM_DeltaAllRecompute(benchmark::State& state) {
+  // The cost reset_to pays — what the incremental updates avoid per flip.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const QuboModel m = dense_model(n, 9);
+  Rng rng(10);
+  const BitVector x = random_bit_vector(n, rng);
+  std::vector<Energy> out;
+  for (auto _ : state) {
+    m.delta_all(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DeltaAllRecompute)->Arg(128)->Arg(512)->Arg(1024);
+
+}  // namespace
+}  // namespace dabs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Micro benchmarks (google-benchmark): per-iteration cost of each main
+// search algorithm and throughput of a whole batch search.
+#include <benchmark/benchmark.h>
+
+#include "ga/genetic_ops.hpp"
+#include "problems/maxcut.hpp"
+#include "qubo/search_state.hpp"
+#include "search/batch_search.hpp"
+#include "search/registry.hpp"
+
+namespace dabs {
+namespace {
+
+const QuboModel& k300() {
+  static const QuboModel m =
+      problems::maxcut_to_qubo(problems::make_complete_maxcut(300, 7, "K300"));
+  return m;
+}
+
+void BM_MainSearchIteration(benchmark::State& state) {
+  const auto id = static_cast<MainSearch>(state.range(0));
+  const QuboModel& m = k300();
+  SearchState s(m);
+  Rng rng(1);
+  s.reset_to(random_bit_vector(m.size(), rng));
+  TabuList tabu(m.size(), 8);
+  auto algo = make_search_algorithm(id);
+  for (auto _ : state) {
+    algo->run(s, rng, &tabu, 16);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.SetLabel(std::string(to_string(id)));
+}
+BENCHMARK(BM_MainSearchIteration)
+    ->DenseRange(0, static_cast<int>(kMainSearchCount) - 1);
+
+void BM_BatchSearchThroughput(benchmark::State& state) {
+  const QuboModel& m = k300();
+  BatchParams p;
+  p.search_flip_factor = 0.1;
+  p.batch_flip_factor = 1.0;
+  BatchSearch bs(m, p, 42);
+  Rng rng(2);
+  std::uint64_t flips = 0;
+  for (auto _ : state) {
+    const BitVector target = random_bit_vector(m.size(), rng);
+    const BatchResult r = bs.run(target, MainSearch::kCyclicMin);
+    flips += r.flips;
+    benchmark::DoNotOptimize(r.best_energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flips));
+  state.SetLabel("flips/sec");
+}
+BENCHMARK(BM_BatchSearchThroughput);
+
+void BM_GreedyDescent(benchmark::State& state) {
+  const QuboModel& m = k300();
+  SearchState s(m);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    s.reset_to(random_bit_vector(m.size(), rng));
+    state.ResumeTiming();
+    while (!s.is_local_minimum()) {
+      const ScanResult r = s.scan();
+      if (r.min_delta >= 0) break;
+      s.flip(r.argmin);
+    }
+    benchmark::DoNotOptimize(s.energy());
+  }
+}
+BENCHMARK(BM_GreedyDescent);
+
+void BM_GeneticOperation(benchmark::State& state) {
+  const auto op = static_cast<GeneticOp>(state.range(0));
+  const std::size_t n = 2000;
+  SolutionPool pool(100, n);
+  SolutionPool neighbor(100, n);
+  Rng rng(4);
+  pool.initialize_random(rng);
+  neighbor.initialize_random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apply_genetic_op(op, n, pool, &neighbor, rng));
+  }
+  state.SetLabel(std::string(to_string(op)));
+}
+BENCHMARK(BM_GeneticOperation)
+    ->DenseRange(0, static_cast<int>(kGeneticOpCount) - 1);
+
+}  // namespace
+}  // namespace dabs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table IV reproduction: QASP at resolutions r = 1, 16, 256 on the Pegasus
+// working graph (paper: D-Wave Advantage 4.1, 5627 qubits).  Rows: DABS
+// (TTS), ABS (TTS + probability), comparator gaps.
+#include "baseline/abs_solver.hpp"
+#include "baseline/simulated_annealing.hpp"
+#include "baseline/tabu_search.hpp"
+#include "bench_common.hpp"
+#include "problems/qasp.hpp"
+
+namespace dabs {
+namespace {
+
+namespace pr = problems;
+using bench::bench_config;
+
+pr::QaspParams qasp_params(int resolution) {
+  pr::QaspParams p;
+  p.resolution = resolution;
+  if (bench::full_size()) {
+    p.pegasus_m = 16;
+    p.working_nodes = 5627;  // Advantage 4.1 working-qubit count
+  } else {
+    p.pegasus_m = 4;
+    p.working_nodes = 280;  // ~97% of P4's 288 qubits
+  }
+  p.graph_seed = 41;
+  p.value_seed = 42 + resolution;
+  return p;
+}
+
+void run() {
+  bench::print_banner("Table IV — QASP r = 1 / 16 / 256 (Pegasus)");
+  io::ResultsTable table("Table IV");
+  table.columns({"QASP", "nodes", "edges", "ref", "DABS best", "DABS TTS",
+                 "DABS succ", "ABS best", "ABS succ", "SA gap", "Tabu gap"});
+
+  const double time_budget = 4.0 * bench::scale();
+  const std::size_t n_trials = bench::trials(5);
+
+  for (const int r : {1, 16, 256}) {
+    const pr::QaspInstance inst = pr::make_qasp(qasp_params(r));
+    bench::note("QASP" + std::to_string(r) + ": " + inst.qubo.describe());
+
+    SolverConfig ref_cfg = bench_config(21, 0.1, 1.0);
+    ref_cfg.stop.time_limit_seconds = 2.0 * time_budget;
+    const SolveResult ref = DabsSolver(ref_cfg).solve(inst.qubo);
+    Energy best_known = ref.best_energy;
+
+    SaParams sa_p;
+    sa_p.sweeps = 2000;
+    sa_p.restarts = 6;
+    sa_p.time_limit_seconds = time_budget;
+    const BaselineResult sa = SimulatedAnnealing(sa_p).solve(inst.qubo);
+    TabuSearchParams tb_p;
+    tb_p.iterations = 300000;
+    tb_p.time_limit_seconds = time_budget;
+    const BaselineResult tb = TabuSearch(tb_p).solve(inst.qubo);
+    best_known = std::min({best_known, sa.best_energy, tb.best_energy});
+
+    const auto dabs_camp = bench::run_campaign(
+        inst.qubo, best_known, n_trials, [&](std::size_t t) {
+          SolverConfig c = bench_config(500 + t, 0.1, 1.0);
+          c.stop.target_energy = best_known;
+          c.stop.time_limit_seconds = time_budget;
+          return DabsSolver(c);
+        });
+    const auto abs_camp = bench::run_campaign(
+        inst.qubo, best_known, n_trials, [&](std::size_t t) {
+          SolverConfig c = bench_config(600 + t, 0.1, 1.0);
+          c.stop.target_energy = best_known;
+          c.stop.time_limit_seconds = time_budget;
+          return AbsSolver(c);
+        });
+
+    table.add_row(
+        {"QASP" + std::to_string(r), std::to_string(inst.nodes),
+         std::to_string(inst.edge_count), io::fmt_energy(best_known),
+         io::fmt_energy(dabs_camp.best_energy),
+         dabs_camp.successes ? io::fmt_seconds(dabs_camp.tts.mean()) : "-",
+         io::fmt_percent(dabs_camp.success_rate()),
+         io::fmt_energy(abs_camp.best_energy),
+         io::fmt_percent(abs_camp.success_rate()),
+         io::fmt_gap(energy_gap(sa.best_energy, best_known)),
+         io::fmt_gap(energy_gap(tb.best_energy, best_known))});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace dabs
+
+int main() {
+  dabs::run();
+  return 0;
+}

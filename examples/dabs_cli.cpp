@@ -1,0 +1,176 @@
+// Command-line QUBO solver front end: load a model from any supported
+// format (QUBO text, Gset MaxCut, QAPLIB), run DABS or a baseline, and
+// print the result as text or JSON.
+//
+//   $ ./dabs_cli --format qubo model.txt --time-limit 5
+//   $ ./dabs_cli --format gset G22 --solver abs --json
+//   $ ./dabs_cli --format qaplib nug30.dat --devices 4 --blocks 4 \
+//                --s 0.1 --b 1.0 --save-solution best.sol
+//
+// Exit status: 0 on success, 2 on usage errors.
+#include <iostream>
+
+#include "baseline/abs_solver.hpp"
+#include "baseline/simulated_annealing.hpp"
+#include "core/dabs_solver.hpp"
+#include "core/parallel_campaign.hpp"
+#include "io/gset.hpp"
+#include "io/json_writer.hpp"
+#include "io/qaplib.hpp"
+#include "io/qubo_text.hpp"
+#include "io/solution_io.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/qap.hpp"
+#include "qubo/model_info.hpp"
+#include "util/arg_parser.hpp"
+
+namespace {
+
+void usage(const std::string& prog) {
+  std::cerr
+      << "usage: " << prog << " [options] <model-file>\n"
+      << "  --format qubo|gset|qaplib   input format (default qubo)\n"
+      << "  --solver dabs|abs|sa        solver (default dabs)\n"
+      << "  --time-limit <sec>          wall-clock budget (default 5)\n"
+      << "  --max-batches <n>           batch budget (0 = none)\n"
+      << "  --target <energy>           stop at this energy\n"
+      << "  --devices <n> --blocks <n>  virtual device shape (default 2x2)\n"
+      << "  --s <f> --b <f>             search/batch flip factors\n"
+      << "  --pool <n>                  pool capacity (default 100)\n"
+      << "  --seed <n>                  master seed\n"
+      << "  --threads                   threaded mode (default synchronous)\n"
+      << "  --save-solution <path>      write the best solution found\n"
+      << "  --json                      JSON output\n"
+      << "  --describe                  print model statistics and exit\n"
+      << "  --campaign <trials>         repeated-trial TTS campaign "
+         "(needs --target)\n"
+      << "  --campaign-threads <n>      workers for --campaign (default 2)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dabs;
+  const ArgParser args(argc, argv);
+  try {
+    if (args.positional().size() != 1 || args.get_bool("help")) {
+      usage(args.program());
+      return 2;
+    }
+    const std::string path = args.positional()[0];
+    const std::string format = args.get("format", "qubo");
+
+    QuboModel model;
+    if (format == "qubo") {
+      model = io::read_qubo_file(path);
+    } else if (format == "gset") {
+      model = problems::maxcut_to_qubo(io::read_gset_file(path));
+    } else if (format == "qaplib") {
+      model = problems::qap_to_qubo(io::read_qaplib_file(path)).model;
+    } else {
+      std::cerr << "unknown format '" << format << "'\n";
+      return 2;
+    }
+
+    if (args.get_bool("describe")) {
+      std::cout << describe_model(analyze_model(model));
+      return 0;
+    }
+
+    SolverConfig cfg;
+    cfg.devices = static_cast<std::size_t>(args.get_int("devices", 2));
+    cfg.device.blocks =
+        static_cast<std::uint32_t>(args.get_int("blocks", 2));
+    cfg.device.batch.search_flip_factor = args.get_double("s", 0.1);
+    cfg.device.batch.batch_flip_factor = args.get_double("b", 1.0);
+    cfg.pool_capacity = static_cast<std::size_t>(args.get_int("pool", 100));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.mode = args.get_bool("threads") ? ExecutionMode::kThreaded
+                                        : ExecutionMode::kSynchronous;
+    cfg.stop.time_limit_seconds = args.get_double("time-limit", 5.0);
+    cfg.stop.max_batches =
+        static_cast<std::uint64_t>(args.get_int("max-batches", 0));
+    if (args.has("target")) {
+      cfg.stop.target_energy = args.get_int("target", 0);
+    }
+
+    if (args.has("campaign")) {
+      const auto trials =
+          static_cast<std::size_t>(args.get_int("campaign", 10));
+      const auto workers =
+          static_cast<std::size_t>(args.get_int("campaign-threads", 2));
+      if (!cfg.stop.target_energy) {
+        std::cerr << "--campaign requires --target <energy>\n";
+        return 2;
+      }
+      const Energy target = *cfg.stop.target_energy;
+      const ParallelCampaign camp(cfg, trials, workers);
+      const CampaignResult r = camp.run(model, target);
+      std::cout << "campaign: " << r.successes << "/" << r.runs
+                << " trials reached " << target << "\n";
+      if (r.successes > 0) {
+        std::cout << "TTS " << r.tts.to_string() << "\n"
+                  << "TTS@99% = "
+                  << tts_at_confidence(r.tts.mean(), r.success_rate())
+                  << "s\n";
+      }
+      std::cout << "best energy over campaign: " << r.best_energy << "\n";
+      return 0;
+    }
+
+    const std::string solver = args.get("solver", "dabs");
+    SolveResult result;
+    if (solver == "dabs") {
+      result = DabsSolver(cfg).solve(model);
+    } else if (solver == "abs") {
+      result = AbsSolver(cfg).solve(model);
+    } else if (solver == "sa") {
+      SaParams sa;
+      sa.time_limit_seconds = cfg.stop.time_limit_seconds;
+      sa.restarts = 1000000;
+      sa.seed = cfg.seed;
+      const BaselineResult r = SimulatedAnnealing(sa).solve(model);
+      result.best_solution = r.best_solution;
+      result.best_energy = r.best_energy;
+      result.elapsed_seconds = r.elapsed_seconds;
+    } else {
+      std::cerr << "unknown solver '" << solver << "'\n";
+      return 2;
+    }
+
+    if (const auto out = args.get("save-solution")) {
+      io::write_solution_file(*out, result.best_solution,
+                              result.best_energy);
+    }
+
+    const bool as_json = args.get_bool("json");
+    // All options have been queried by now: anything left is a typo.
+    for (const std::string& name : args.unused()) {
+      std::cerr << "warning: unknown option --" << name << "\n";
+    }
+
+    if (as_json) {
+      io::JsonWriter json(std::cout);
+      json.begin_object()
+          .value("model", model.describe())
+          .value("solver", solver)
+          .value("best_energy", result.best_energy)
+          .value("reached_target", result.reached_target)
+          .value("tts_seconds", result.tts_seconds)
+          .value("elapsed_seconds", result.elapsed_seconds)
+          .value("batches", result.batches)
+          .end_object();
+      std::cout << "\n";
+    } else {
+      std::cout << model.describe() << "\n"
+                << "best energy : " << result.best_energy << "\n"
+                << "elapsed     : " << result.elapsed_seconds << "s\n"
+                << "batches     : " << result.batches << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage(args.program());
+    return 2;
+  }
+}

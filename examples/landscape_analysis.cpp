@@ -1,0 +1,59 @@
+// Landscape analysis example: measure why the paper's three benchmark
+// families need different search algorithms (the No Free Lunch argument,
+// §I-B) — ruggedness and local-minima structure differ drastically between
+// MaxCut, QAP and QASP models of comparable size.
+//
+//   $ ./landscape_analysis
+#include <iostream>
+
+#include "analysis/landscape.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/qap.hpp"
+#include "problems/qasp.hpp"
+
+namespace {
+
+void analyze(const std::string& name, const dabs::QuboModel& m,
+             std::uint64_t seed) {
+  dabs::Rng rng(seed);
+  std::cout << "\n== " << name << " — " << m.describe() << " ==\n";
+
+  const auto random_stats = dabs::analysis::random_energy_stats(m, 200, rng);
+  std::cout << "random solutions : " << random_stats.to_string() << "\n";
+
+  const auto ac =
+      dabs::analysis::random_walk_autocorrelation(m, 4000, 64, rng);
+  std::cout << "walk correlation length: " << ac.correlation_length
+            << " flips (rho[1]=" << ac.rho[1] << ")\n";
+
+  const auto minima = dabs::analysis::sample_local_minima(m, 100, rng);
+  std::cout << "local minima     : " << minima.distinct_minima
+            << " distinct in " << minima.restarts
+            << " greedy restarts; best " << minima.best
+            << " reached by " << int(minima.best_basin_share * 100 + 0.5)
+            << "% of starts\n"
+            << "minima energies  : " << minima.energies.to_string() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  namespace pr = dabs::problems;
+
+  analyze("MaxCut (G-style sparse, 200 nodes)",
+          pr::maxcut_to_qubo(pr::make_random_maxcut(
+              200, 2000, pr::EdgeWeights::kPlusMinusOne, 1, "g")),
+          11);
+
+  analyze("QAP one-hot (nug-style 3x4, 144 vars)",
+          pr::qap_to_qubo(pr::make_grid_qap(3, 4, 10, 2, "nug")).model, 22);
+
+  analyze("QASP r=16 (Pegasus P3, 144 qubits)",
+          pr::make_qasp_small(16, 3, 3).qubo, 33);
+
+  std::cout << "\nExpected contrast: the QAP landscape shows few, deep, "
+               "hard-to-reach minima (one-hot penalty walls), while MaxCut "
+               "and QASP are smoother with many shallow minima — the reason "
+               "no single search algorithm wins everywhere.\n";
+  return 0;
+}

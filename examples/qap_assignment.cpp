@@ -1,0 +1,57 @@
+// QAP example (paper §II-B, §VI-B): reduce a facility-location problem to
+// QUBO by one-hot encoding, solve with DABS, decode and print the layout.
+//
+//   $ ./qap_assignment [qaplib-file]
+//
+// Without an argument a Nugent-style 3x4 grid instance is generated (the
+// family of nug30); with one, a real QAPLIB .dat file is loaded.
+#include <iostream>
+
+#include "core/dabs_solver.hpp"
+#include "io/qaplib.hpp"
+#include "problems/qap.hpp"
+
+int main(int argc, char** argv) {
+  namespace pr = dabs::problems;
+
+  pr::QapInstance inst;
+  if (argc > 1) {
+    inst = dabs::io::read_qaplib_file(argv[1]);
+  } else {
+    inst = pr::make_grid_qap(3, 4, 10, 30, "nug12-like");
+  }
+  std::cout << "instance " << inst.name << ": n = " << inst.n << "\n";
+
+  // Reduce with an automatic penalty; E(X) = C(g) - n*p on feasible X.
+  const pr::QapQubo q = pr::qap_to_qubo(inst);
+  std::cout << "QUBO: " << q.model.describe() << ", penalty " << q.penalty
+            << "\n";
+
+  dabs::SolverConfig config;
+  config.devices = 2;
+  config.device.blocks = 2;
+  config.device.batch.search_flip_factor = 0.1;  // paper QAP parameters
+  config.device.batch.batch_flip_factor = 1.0;
+  config.mode = dabs::ExecutionMode::kSynchronous;
+  config.stop.max_batches = 3000;
+  config.seed = 7;
+
+  const dabs::SolveResult r = dabs::DabsSolver(config).solve(q.model);
+  std::cout << "best energy " << r.best_energy << " after " << r.batches
+            << " batches\n";
+
+  const auto g = pr::decode_assignment(r.best_solution, inst.n);
+  if (!g) {
+    std::cout << "best solution is not one-hot feasible — increase the "
+                 "penalty or the batch budget\n";
+    return 1;
+  }
+  std::cout << "assignment cost C(g) = " << inst.cost(*g)
+            << "  (energy + n*penalty = "
+            << r.best_energy + dabs::Energy{q.penalty} * dabs::Energy(inst.n)
+            << ")\n";
+  for (std::size_t i = 0; i < g->size(); ++i) {
+    std::cout << "  facility " << i << " -> location " << (*g)[i] << "\n";
+  }
+  return 0;
+}

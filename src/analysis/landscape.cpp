@@ -1,0 +1,98 @@
+#include "analysis/landscape.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ga/genetic_ops.hpp"
+#include "qubo/search_state.hpp"
+#include "search/greedy.hpp"
+#include "util/assert.hpp"
+
+namespace dabs::analysis {
+
+SummaryStats random_energy_stats(const QuboModel& model, std::size_t samples,
+                                 Rng& rng) {
+  DABS_CHECK(samples > 0, "need at least one sample");
+  SummaryStats stats;
+  for (std::size_t s = 0; s < samples; ++s) {
+    stats.add(double(model.energy(random_bit_vector(model.size(), rng))));
+  }
+  return stats;
+}
+
+AutocorrelationResult random_walk_autocorrelation(const QuboModel& model,
+                                                  std::size_t steps,
+                                                  std::size_t max_lag,
+                                                  Rng& rng) {
+  DABS_CHECK(steps > max_lag && max_lag >= 1,
+             "walk must be longer than the maximum lag");
+  SearchState state(model);
+  state.reset_to(random_bit_vector(model.size(), rng));
+  std::vector<double> e;
+  e.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    state.flip(static_cast<VarIndex>(rng.next_index(model.size())));
+    e.push_back(double(state.energy()));
+  }
+  // Mean/variance of the series.
+  double mean = 0;
+  for (const double v : e) mean += v;
+  mean /= double(e.size());
+  double var = 0;
+  for (const double v : e) var += (v - mean) * (v - mean);
+  var /= double(e.size());
+
+  AutocorrelationResult out;
+  out.rho.resize(max_lag + 1, 1.0);
+  if (var <= 0) {  // flat landscape
+    out.correlation_length = max_lag;
+    return out;
+  }
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double c = 0;
+    for (std::size_t t = 0; t + k < e.size(); ++t) {
+      c += (e[t] - mean) * (e[t + k] - mean);
+    }
+    c /= double(e.size() - k);
+    out.rho[k] = c / var;
+  }
+  out.correlation_length = max_lag;
+  const double threshold = std::exp(-1.0);
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    if (out.rho[k] < threshold) {
+      out.correlation_length = k;
+      break;
+    }
+  }
+  return out;
+}
+
+LocalMinimaSample sample_local_minima(const QuboModel& model,
+                                      std::size_t restarts, Rng& rng) {
+  DABS_CHECK(restarts > 0, "need at least one restart");
+  LocalMinimaSample out;
+  out.restarts = restarts;
+  out.best = kInfiniteEnergy;
+  SearchState state(model);
+  std::unordered_map<std::uint64_t, std::size_t> minima;  // hash -> count
+  std::unordered_map<std::uint64_t, Energy> energies;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    state.reset_to(random_bit_vector(model.size(), rng));
+    greedy_descent(state);
+    const Energy e = state.energy();
+    out.energies.add(double(e));
+    const std::uint64_t h = state.solution().hash();
+    ++minima[h];
+    energies[h] = e;
+    if (e < out.best) out.best = e;
+  }
+  out.distinct_minima = minima.size();
+  std::size_t best_hits = 0;
+  for (const auto& [h, count] : minima) {
+    if (energies[h] == out.best) best_hits += count;
+  }
+  out.best_basin_share = double(best_hits) / double(restarts);
+  return out;
+}
+
+}  // namespace dabs::analysis

@@ -1,0 +1,55 @@
+// Energy-landscape analysis utilities.  The paper motivates DABS's
+// diversity with the No Free Lunch Theorem — different QUBO families have
+// differently shaped landscapes (e.g. QAP's n! isolated local minima,
+// §II-B).  These estimators make that structure measurable:
+//
+//   - random-sample statistics (baseline energy scale),
+//   - random-walk autocorrelation (ruggedness / correlation length),
+//   - local-minima sampling (count of distinct basins, depth distribution).
+//
+// Used by the landscape_analysis example and the ablation discussion in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+#include "rng/xorshift.hpp"
+#include "util/stats.hpp"
+
+namespace dabs::analysis {
+
+/// Mean/std/min/max of E(X) over `samples` uniform random vectors.
+SummaryStats random_energy_stats(const QuboModel& model, std::size_t samples,
+                                 Rng& rng);
+
+struct AutocorrelationResult {
+  /// rho[k] = corr(E(X_t), E(X_{t+k})) along a random 1-flip walk.
+  std::vector<double> rho;
+  /// Correlation length: first lag where rho drops below 1/e, or rho.size()
+  /// when it never does (smooth landscape).
+  std::size_t correlation_length;
+};
+
+/// Random-walk autocorrelation up to `max_lag` over a walk of `steps` flips.
+AutocorrelationResult random_walk_autocorrelation(const QuboModel& model,
+                                                  std::size_t steps,
+                                                  std::size_t max_lag,
+                                                  Rng& rng);
+
+struct LocalMinimaSample {
+  std::size_t restarts = 0;
+  std::size_t distinct_minima = 0;
+  Energy best = 0;
+  SummaryStats energies;  // over the minima found (with multiplicity)
+  /// Fraction of restarts that ended in the best minimum found — a simple
+  /// basin-size proxy.
+  double best_basin_share = 0.0;
+};
+
+/// Greedy descent from `restarts` random starts.
+LocalMinimaSample sample_local_minima(const QuboModel& model,
+                                      std::size_t restarts, Rng& rng);
+
+}  // namespace dabs::analysis

@@ -1,0 +1,13 @@
+#include "baseline/abs_solver.hpp"
+
+namespace dabs {
+
+SolverConfig make_abs_config(SolverConfig base) {
+  base.algorithms = {MainSearch::kCyclicMin};
+  base.operations = {GeneticOp::kMutateCrossover};
+  base.explore_prob = 0.0;
+  base.restart_on_merge = false;
+  return base;
+}
+
+}  // namespace dabs

@@ -1,0 +1,23 @@
+// Common result type for the comparator solvers (the repo's stand-ins for
+// Gurobi / D-Wave rows in Tables II-IV; see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "qubo/types.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct BaselineResult {
+  BitVector best_solution;
+  Energy best_energy = kInfiniteEnergy;
+  std::uint64_t flips = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Relative gap of `found` above a reference optimum, as the paper reports
+/// it (both energies negative; gap = (found - ref) / |ref|).
+double energy_gap(Energy found, Energy reference);
+
+}  // namespace dabs

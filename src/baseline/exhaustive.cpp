@@ -1,0 +1,83 @@
+#include "baseline/exhaustive.hpp"
+
+#include <bit>
+#include <thread>
+#include <vector>
+
+#include "qubo/search_state.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+BaselineResult ExhaustiveSolver::solve_block(const QuboModel& model,
+                                             std::uint64_t prefix,
+                                             std::size_t prefix_bits) const {
+  const std::size_t n = model.size();
+  const std::size_t suffix_bits = n - prefix_bits;
+
+  // Start vector: the prefix occupies the *top* bits [suffix_bits, n).
+  BitVector start(n);
+  for (std::size_t b = 0; b < prefix_bits; ++b) {
+    start.set(suffix_bits + b, (prefix >> b) & 1);
+  }
+  SearchState state(model);
+  state.reset_to(start);
+
+  BitVector best = state.solution();
+  Energy best_e = state.energy();
+  const std::uint64_t total = std::uint64_t{1} << suffix_bits;
+  for (std::uint64_t s = 1; s < total; ++s) {
+    state.flip(static_cast<VarIndex>(std::countr_zero(s)));
+    if (state.energy() < best_e) {
+      best_e = state.energy();
+      best = state.solution();
+    }
+  }
+  return {best, best_e, state.flip_count(), 0.0};
+}
+
+BaselineResult ExhaustiveSolver::solve(const QuboModel& model) const {
+  const std::size_t n = model.size();
+  DABS_CHECK(n <= max_bits_, "model too large for exhaustive enumeration");
+  Stopwatch clock;
+
+  // Round the worker count down to a power of two, capped so every worker
+  // has at least one suffix bit to enumerate.
+  std::size_t prefix_bits = 0;
+  while ((std::size_t{2} << prefix_bits) <= threads_ &&
+         prefix_bits + 1 < n) {
+    ++prefix_bits;
+  }
+  if (threads_ == 1 || n < 2) prefix_bits = 0;
+
+  if (prefix_bits == 0) {
+    BaselineResult r = solve_block(model, 0, 0);
+    r.elapsed_seconds = clock.elapsed_seconds();
+    return r;
+  }
+
+  const std::size_t workers = std::size_t{1} << prefix_bits;
+  std::vector<BaselineResult> results(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      results[w] = solve_block(model, w, prefix_bits);
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  BaselineResult out = results[0];
+  for (std::size_t w = 1; w < workers; ++w) {
+    out.flips += results[w].flips;
+    if (results[w].best_energy < out.best_energy) {
+      out.best_energy = results[w].best_energy;
+      out.best_solution = results[w].best_solution;
+    }
+  }
+  out.elapsed_seconds = clock.elapsed_seconds();
+  return out;
+}
+
+}  // namespace dabs

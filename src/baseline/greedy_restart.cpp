@@ -1,0 +1,38 @@
+#include "baseline/greedy_restart.hpp"
+
+#include "ga/genetic_ops.hpp"
+#include "qubo/search_state.hpp"
+#include "search/greedy.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+GreedyRestart::GreedyRestart(GreedyRestartParams params) : params_(params) {
+  DABS_CHECK(params_.restarts > 0, "at least one restart");
+}
+
+BaselineResult GreedyRestart::solve(const QuboModel& model) const {
+  Stopwatch clock;
+  Rng rng(params_.seed);
+  SearchState state(model);
+  BaselineResult result;
+
+  for (std::uint64_t r = 0; r < params_.restarts; ++r) {
+    state.reset_to(random_bit_vector(model.size(), rng));
+    greedy_descent(state);
+    if (state.best_energy() < result.best_energy) {
+      result.best_energy = state.best_energy();
+      result.best_solution = state.best();
+    }
+    result.flips += state.flip_count();
+    if (params_.time_limit_seconds > 0 &&
+        clock.elapsed_seconds() >= params_.time_limit_seconds) {
+      break;
+    }
+  }
+  result.elapsed_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace dabs

@@ -1,0 +1,29 @@
+// Multistart greedy descent comparator: random start -> greedy to a local
+// minimum, repeated.  The weakest sensible baseline; useful for showing the
+// value of everything above plain descent.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/baseline_result.hpp"
+#include "qubo/qubo_model.hpp"
+
+namespace dabs {
+
+struct GreedyRestartParams {
+  std::uint64_t restarts = 100;
+  std::uint64_t seed = 1;
+  double time_limit_seconds = 0.0;  // 0 = no limit
+};
+
+class GreedyRestart {
+ public:
+  explicit GreedyRestart(GreedyRestartParams params = {});
+
+  BaselineResult solve(const QuboModel& model) const;
+
+ private:
+  GreedyRestartParams params_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,75 @@
+#include "baseline/path_relinking.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "ga/genetic_ops.hpp"
+#include "qubo/search_state.hpp"
+#include "search/greedy.hpp"
+#include "search/straight.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+PathRelinking::PathRelinking(PathRelinkingParams params) : params_(params) {
+  DABS_CHECK(params_.elite_size >= 2, "relinking needs at least two elites");
+  DABS_CHECK(params_.relinks > 0, "at least one relink");
+}
+
+BaselineResult PathRelinking::solve(const QuboModel& model) const {
+  Stopwatch clock;
+  Rng rng(params_.seed);
+  SearchState state(model);
+  BaselineResult result;
+
+  auto out_of_time = [&] {
+    return params_.time_limit_seconds > 0 &&
+           clock.elapsed_seconds() >= params_.time_limit_seconds;
+  };
+  auto consider = [&](const BitVector& x, Energy e) {
+    if (e < result.best_energy) {
+      result.best_energy = e;
+      result.best_solution = x;
+    }
+  };
+
+  // Phase 1: build the elite set from greedy multistart.
+  std::vector<std::pair<BitVector, Energy>> elite;
+  for (std::uint64_t r = 0; r < params_.elite_size && !out_of_time(); ++r) {
+    state.reset_to(random_bit_vector(model.size(), rng));
+    greedy_descent(state);
+    elite.emplace_back(state.best(), state.best_energy());
+    consider(state.best(), state.best_energy());
+    result.flips += state.flip_count();
+  }
+  if (elite.size() < 2) {
+    result.elapsed_seconds = clock.elapsed_seconds();
+    return result;
+  }
+
+  // Phase 2: relink random elite pairs; polish the path's best point.
+  for (std::uint64_t r = 0; r < params_.relinks && !out_of_time(); ++r) {
+    const std::size_t a = rng.next_index(elite.size());
+    std::size_t b = rng.next_index(elite.size() - 1);
+    if (b >= a) ++b;
+    state.reset_to(elite[a].first);
+    straight_walk(state, elite[b].first);  // BEST tracks the whole path
+    state.reset_to(state.best());
+    greedy_descent(state);
+    consider(state.best(), state.best_energy());
+    result.flips += state.flip_count();
+
+    // Replace the worst elite when the polished point improves on it.
+    auto worst = std::max_element(
+        elite.begin(), elite.end(),
+        [](const auto& x, const auto& y) { return x.second < y.second; });
+    if (state.best_energy() < worst->second) {
+      *worst = {state.best(), state.best_energy()};
+    }
+  }
+  result.elapsed_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace dabs

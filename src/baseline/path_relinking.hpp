@@ -1,0 +1,32 @@
+// Greedy-restart + path relinking comparator: an elite set of local minima
+// is built by multistart greedy descent; then random elite pairs are
+// relinked by walking one endpoint to the other with the Straight search,
+// greedily polishing the best point found on each path.  A mid-strength
+// classical baseline between GreedyRestart and full DABS.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/baseline_result.hpp"
+#include "qubo/qubo_model.hpp"
+
+namespace dabs {
+
+struct PathRelinkingParams {
+  std::uint64_t elite_size = 10;
+  std::uint64_t relinks = 100;
+  std::uint64_t seed = 1;
+  double time_limit_seconds = 0.0;  // 0 = no limit
+};
+
+class PathRelinking {
+ public:
+  explicit PathRelinking(PathRelinkingParams params = {});
+
+  BaselineResult solve(const QuboModel& model) const;
+
+ private:
+  PathRelinkingParams params_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,82 @@
+#include "baseline/simulated_annealing.hpp"
+
+#include <cmath>
+
+#include "ga/genetic_ops.hpp"
+#include "qubo/search_state.hpp"
+#include "rng/seeder.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+double energy_gap(Energy found, Energy reference) {
+  if (reference == 0) return found == 0 ? 0.0 : 1.0;
+  return double(found - reference) / std::abs(double(reference));
+}
+
+SimulatedAnnealing::SimulatedAnnealing(SaParams params) : params_(params) {
+  DABS_CHECK(params_.sweeps > 0, "at least one sweep");
+  DABS_CHECK(params_.t_final > 0, "final temperature must be positive");
+  DABS_CHECK(params_.restarts > 0, "at least one restart");
+}
+
+namespace {
+
+double calibrate_t0(const SearchState& state) {
+  // Mean |Delta| at the starting point; a classic cheap T0 heuristic.
+  double sum = 0.0;
+  for (const Energy d : state.deltas()) sum += std::abs(double(d));
+  const double mean = sum / double(state.size());
+  return mean > 0 ? mean : 1.0;
+}
+
+}  // namespace
+
+BaselineResult SimulatedAnnealing::solve(const QuboModel& model) const {
+  Stopwatch clock;
+  MersenneSeeder seeder(params_.seed);
+  SearchState state(model);
+  BaselineResult result;
+  const auto n = static_cast<VarIndex>(model.size());
+
+  for (std::uint64_t run = 0; run < params_.restarts; ++run) {
+    Rng rng = seeder.next_rng();
+    state.reset_to(random_bit_vector(model.size(), rng));
+
+    const double t0 =
+        params_.t_initial > 0 ? params_.t_initial : calibrate_t0(state);
+    const double tf = std::min(params_.t_final, t0);
+    // Geometric schedule hitting tf on the last sweep.
+    const double alpha =
+        params_.sweeps > 1
+            ? std::pow(tf / t0, 1.0 / double(params_.sweeps - 1))
+            : 1.0;
+
+    double temp = t0;
+    bool out_of_time = false;
+    for (std::uint64_t s = 0; s < params_.sweeps && !out_of_time; ++s) {
+      for (VarIndex i = 0; i < n; ++i) {
+        const Energy d = state.delta(i);
+        if (d <= 0 || rng.next_unit() < std::exp(-double(d) / temp)) {
+          state.flip(i);
+        }
+      }
+      temp *= alpha;
+      if (params_.time_limit_seconds > 0 &&
+          clock.elapsed_seconds() >= params_.time_limit_seconds) {
+        out_of_time = true;
+      }
+    }
+    if (state.best_energy() < result.best_energy) {
+      result.best_energy = state.best_energy();
+      result.best_solution = state.best();
+    }
+    result.flips += state.flip_count();
+    if (out_of_time) break;
+  }
+  result.elapsed_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace dabs

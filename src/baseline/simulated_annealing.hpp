@@ -1,0 +1,37 @@
+// Simulated annealing comparator on the incremental QUBO machinery.
+// Standard single-spin Metropolis sweeps with a geometric temperature
+// schedule; the initial temperature defaults to the mean |Delta| of a
+// random start so early sweeps accept most moves.
+//
+// Serves as the repo's stand-in for the external reference solvers in the
+// paper's tables (see DESIGN.md §2) and generates the Fig. 6 style
+// time-limited solution histograms.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/baseline_result.hpp"
+#include "qubo/qubo_model.hpp"
+
+namespace dabs {
+
+struct SaParams {
+  std::uint64_t sweeps = 1000;      // Metropolis sweeps (n flips attempted each)
+  double t_initial = 0.0;           // 0 = auto-calibrate from mean |Delta|
+  double t_final = 0.5;
+  std::uint64_t seed = 1;
+  double time_limit_seconds = 0.0;  // 0 = no limit
+  std::uint64_t restarts = 1;       // independent annealing runs
+};
+
+class SimulatedAnnealing {
+ public:
+  explicit SimulatedAnnealing(SaParams params = {});
+
+  BaselineResult solve(const QuboModel& model) const;
+
+ private:
+  SaParams params_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,86 @@
+#include "baseline/subqubo_solver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/exhaustive.hpp"
+#include "ga/genetic_ops.hpp"
+#include "qubo/search_state.hpp"
+#include "qubo/transforms.hpp"
+#include "rng/seeder.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+SubQuboSolver::SubQuboSolver(SubQuboParams params) : params_(params) {
+  DABS_CHECK(params_.subset_size >= 2 && params_.subset_size <= 26,
+             "subset size must be in [2, 26] for exact solving");
+  DABS_CHECK(params_.iterations > 0, "at least one iteration");
+  DABS_CHECK(params_.restarts > 0, "at least one restart");
+}
+
+namespace {
+
+/// Samples `k` distinct indices, biased toward small Delta (rank-weighted:
+/// take the k smallest among 2k uniformly drawn candidates).
+std::vector<VarIndex> biased_subset(const SearchState& state, std::size_t k,
+                                    Rng& rng) {
+  const auto n = static_cast<VarIndex>(state.size());
+  std::vector<VarIndex> cand;
+  cand.reserve(2 * k);
+  std::vector<bool> taken(n, false);
+  while (cand.size() < std::min<std::size_t>(2 * k, n)) {
+    const auto v = static_cast<VarIndex>(rng.next_index(n));
+    if (!taken[v]) {
+      taken[v] = true;
+      cand.push_back(v);
+    }
+  }
+  std::sort(cand.begin(), cand.end(), [&](VarIndex a, VarIndex b) {
+    return state.delta(a) < state.delta(b);
+  });
+  cand.resize(std::min<std::size_t>(k, cand.size()));
+  return cand;
+}
+
+}  // namespace
+
+BaselineResult SubQuboSolver::solve(const QuboModel& model) const {
+  Stopwatch clock;
+  MersenneSeeder seeder(params_.seed);
+  const std::size_t k =
+      std::min<std::size_t>(params_.subset_size, model.size());
+  const ExhaustiveSolver exact(26);
+
+  BaselineResult result;
+  for (std::uint64_t run = 0; run < params_.restarts; ++run) {
+    Rng rng = seeder.next_rng();
+    SearchState state(model);
+    state.reset_to(random_bit_vector(model.size(), rng));
+
+    for (std::uint64_t it = 0; it < params_.iterations; ++it) {
+      if (params_.time_limit_seconds > 0 &&
+          clock.elapsed_seconds() >= params_.time_limit_seconds) {
+        break;
+      }
+      const std::vector<VarIndex> subset = biased_subset(state, k, rng);
+      const SubQubo sub = extract_subqubo(model, state.solution(), subset);
+      const BaselineResult best_sub = exact.solve(sub.model);
+      const Energy candidate = best_sub.best_energy + sub.offset;
+      if (candidate < state.energy()) {
+        state.reset_to(
+            apply_subsolution(state.solution(), sub, best_sub.best_solution));
+      }
+      result.flips += best_sub.flips;
+    }
+    if (state.best_energy() < result.best_energy) {
+      result.best_energy = state.best_energy();
+      result.best_solution = state.best();
+    }
+  }
+  result.elapsed_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace dabs

@@ -1,0 +1,53 @@
+#include "baseline/tabu_search.hpp"
+
+#include <limits>
+
+#include "ga/genetic_ops.hpp"
+#include "qubo/search_state.hpp"
+#include "search/tabu_list.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+TabuSearch::TabuSearch(TabuSearchParams params) : params_(params) {
+  DABS_CHECK(params_.iterations > 0, "at least one iteration");
+}
+
+BaselineResult TabuSearch::solve(const QuboModel& model) const {
+  Stopwatch clock;
+  Rng rng(params_.seed);
+  SearchState state(model);
+  state.reset_to(random_bit_vector(model.size(), rng));
+  TabuList tabu(model.size(), params_.tenure);
+  const auto n = static_cast<VarIndex>(model.size());
+
+  for (std::uint64_t it = 0; it < params_.iterations; ++it) {
+    const std::uint64_t now = state.flip_count();
+    Energy best_d = std::numeric_limits<Energy>::max();
+    VarIndex pick = n;
+    for (VarIndex k = 0; k < n; ++k) {
+      const Energy d = state.delta(k);
+      const bool aspiration =
+          state.energy() + d < state.best_energy();
+      if (!aspiration && !tabu.allowed(k, now)) continue;
+      if (d < best_d) {
+        best_d = d;
+        pick = k;
+      }
+    }
+    if (pick == n) pick = static_cast<VarIndex>(rng.next_index(n));
+    state.scan();  // keep BEST in sync with 1-bit neighborhoods
+    tabu.record(pick, now + 1);
+    state.flip(pick);
+    if (params_.time_limit_seconds > 0 && (it & 255) == 0 &&
+        clock.elapsed_seconds() >= params_.time_limit_seconds) {
+      break;
+    }
+  }
+
+  return {state.best(), state.best_energy(), state.flip_count(),
+          clock.elapsed_seconds()};
+}
+
+}  // namespace dabs

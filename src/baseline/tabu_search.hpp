@@ -1,0 +1,31 @@
+// Classic best-improvement tabu search comparator: every iteration flips
+// the minimum-Delta non-tabu bit (aspiration: a tabu bit may be flipped when
+// it would yield a new global best).  A deliberately conventional contrast
+// to DABS's bulk/GA architecture.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/baseline_result.hpp"
+#include "qubo/qubo_model.hpp"
+
+namespace dabs {
+
+struct TabuSearchParams {
+  std::uint64_t iterations = 100000;  // total flips
+  std::uint32_t tenure = 16;
+  std::uint64_t seed = 1;
+  double time_limit_seconds = 0.0;    // 0 = no limit
+};
+
+class TabuSearch {
+ public:
+  explicit TabuSearch(TabuSearchParams params = {});
+
+  BaselineResult solve(const QuboModel& model) const;
+
+ private:
+  TabuSearchParams params_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,63 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+CampaignResult Campaign::run(const QuboModel& model, Energy target) const {
+  return run_with(model, target,
+                  [&model](std::size_t, const SolverConfig& cfg) {
+                    return DabsSolver(cfg).solve(model);
+                  });
+}
+
+CampaignResult Campaign::run_with(
+    const QuboModel& model, Energy target,
+    const std::function<SolveResult(std::size_t, const SolverConfig&)>&
+        solve_trial) const {
+  DABS_CHECK(trials_ > 0, "campaign needs at least one trial");
+  CampaignResult out;
+  for (std::size_t t = 0; t < trials_; ++t) {
+    SolverConfig cfg = base_;
+    cfg.seed = base_.seed + 0x9e3779b97f4a7c15ull * (t + 1);
+    cfg.stop.target_energy = target;
+    const SolveResult r = solve_trial(t, cfg);
+    ++out.runs;
+    out.final_energies.push_back(r.best_energy);
+    if (r.best_energy < out.best_energy) out.best_energy = r.best_energy;
+    if (r.reached_target && r.best_energy <= target) {
+      ++out.successes;
+      out.tts.add(r.tts_seconds);
+      out.tts_samples.push_back(r.tts_seconds);
+    }
+  }
+  (void)model;
+  return out;
+}
+
+Energy establish_reference(const QuboModel& model, const SolverConfig& base,
+                           double budget_seconds) {
+  DABS_CHECK(budget_seconds > 0, "reference budget must be positive");
+  SolverConfig cfg = base;
+  cfg.stop = {};
+  cfg.stop.time_limit_seconds = budget_seconds;
+  return DabsSolver(cfg).solve(model).best_energy;
+}
+
+double tts_at_confidence(double trial_seconds, double success_rate,
+                         double confidence) {
+  DABS_CHECK(trial_seconds >= 0, "trial time must be non-negative");
+  DABS_CHECK(confidence > 0 && confidence < 1,
+             "confidence must be in (0, 1)");
+  if (success_rate >= 1.0) return trial_seconds;
+  if (success_rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return trial_seconds * std::log(1.0 - confidence) /
+         std::log(1.0 - success_rate);
+}
+
+}  // namespace dabs

@@ -1,0 +1,71 @@
+// Repeated-trial campaign runner — the measurement protocol behind the
+// paper's tables: run N independent solver executions against a target
+// energy, recording time-to-solution statistics and the success
+// probability within the per-trial budget (paper §VI: "the TTS does not
+// count the execution time of a trial if it fails to find the potential
+// optimal solution within the time limit").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/dabs_solver.hpp"
+#include "qubo/qubo_model.hpp"
+#include "util/stats.hpp"
+
+namespace dabs {
+
+struct CampaignResult {
+  Energy best_energy = kInfiniteEnergy;  // best across all trials
+  std::size_t runs = 0;
+  std::size_t successes = 0;             // trials that reached the target
+  SummaryStats tts;                      // over successful trials only
+  std::vector<double> tts_samples;       // per-success TTS (histograms)
+  std::vector<Energy> final_energies;    // per-trial best (Fig. 6 style)
+
+  double success_rate() const {
+    return runs ? double(successes) / double(runs) : 0.0;
+  }
+};
+
+class Campaign {
+ public:
+  /// `base` carries the per-trial budget (time limit / max batches); the
+  /// target and per-trial seeds are filled in by run().
+  Campaign(SolverConfig base, std::size_t n_trials)
+      : base_(std::move(base)), trials_(n_trials) {}
+
+  /// Runs the campaign with DABS solvers.
+  CampaignResult run(const QuboModel& model, Energy target) const;
+
+  /// Runs with an arbitrary solver factory (e.g. AbsSolver) so baselines
+  /// use the identical protocol.  The factory receives the trial index and
+  /// the pre-seeded config.
+  CampaignResult run_with(
+      const QuboModel& model, Energy target,
+      const std::function<SolveResult(std::size_t, const SolverConfig&)>&
+          solve_trial) const;
+
+ private:
+  SolverConfig base_;
+  std::size_t trials_;
+};
+
+/// Establishes a "potentially optimal" reference (paper §I-B, condition 1):
+/// the best energy found by one long exploration run with `budget_seconds`.
+/// Callers typically min() this with comparator results.
+Energy establish_reference(const QuboModel& model, const SolverConfig& base,
+                           double budget_seconds);
+
+/// Standard annealing-literature time-to-solution at confidence p:
+///
+///   TTS(p) = t_trial * ln(1 - p) / ln(1 - s)
+///
+/// where s is the per-trial success probability and t_trial the per-trial
+/// time.  Returns t_trial when s >= 1 (one run suffices) and +infinity
+/// when s <= 0.
+double tts_at_confidence(double trial_seconds, double success_rate,
+                         double confidence = 0.99);
+
+}  // namespace dabs

@@ -1,0 +1,221 @@
+#include "core/dabs_solver.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "device/device_group.hpp"
+#include "ga/adaptive_selector.hpp"
+#include "ga/genetic_ops.hpp"
+#include "ga/island_ring.hpp"
+#include "rng/seeder.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace dabs {
+
+namespace {
+
+/// State shared by the host pool threads for one solve() call.
+struct RunContext {
+  const SolverConfig& cfg;
+  const QuboModel& model;
+  IslandRing& ring;
+  AdaptiveSelector selector;
+  Stopwatch clock;
+  RunStats stats;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> generated{0};
+  std::atomic<std::uint32_t> restarts{0};
+
+  std::mutex best_mu;
+  BitVector best;
+  Energy best_energy = kInfiniteEnergy;
+  bool reached_target = false;
+  double tts_seconds = 0.0;
+
+  RunContext(const SolverConfig& c, const QuboModel& m, IslandRing& r)
+      : cfg(c), model(m), ring(r),
+        selector(c.algorithms, c.operations, c.explore_prob),
+        best(m.size()) {}
+
+  /// Inserts a device result into its pool and updates the global best.
+  void handle_result(const Packet& p) {
+    ring.pool(p.pool_index)
+        .insert({p.solution, p.energy, p.algo, p.op});
+    std::lock_guard lock(best_mu);
+    if (p.energy < best_energy) {
+      best_energy = p.energy;
+      best = p.solution;
+      stats.record_improvement(clock.elapsed_seconds(), p.energy, p.algo,
+                               p.op);
+      if (cfg.stop.target_energy && p.energy <= *cfg.stop.target_energy &&
+          !reached_target) {
+        reached_target = true;
+        tts_seconds = clock.elapsed_seconds();
+        stop.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  /// Builds the next host->device packet for pool `i`.
+  Packet make_packet(std::uint32_t i, Rng& rng) {
+    const SolutionPool& pool = ring.pool(i);
+    const SolutionPool* nbr =
+        ring.pool_count() > 1 ? &ring.neighbor(i) : nullptr;
+    Packet p;
+    p.algo = selector.select_algorithm(pool, rng);
+    p.op = selector.select_operation(pool, rng);
+    p.solution =
+        apply_genetic_op(p.op, model.size(), pool, nbr, rng, cfg.op_params);
+    p.pool_index = i;
+    stats.record_batch(p.algo, p.op);
+    generated.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  /// Wall-clock / batch-budget stop checks (target checks live in
+  /// handle_result).  Returns true when the run should end.
+  bool budget_exhausted() {
+    if (cfg.stop.time_limit_seconds > 0.0 &&
+        clock.elapsed_seconds() >= cfg.stop.time_limit_seconds) {
+      return true;
+    }
+    if (cfg.stop.max_batches != 0 &&
+        generated.load(std::memory_order_relaxed) >= cfg.stop.max_batches) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Restarts all pools when the ring has merged (paper §IV-B).
+  void maybe_restart(Rng& rng) {
+    if (!cfg.restart_on_merge) return;
+    if (!ring.merged()) return;
+    for (std::size_t i = 0; i < ring.pool_count(); ++i) {
+      ring.pool(i).restart(rng);
+    }
+    restarts.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+void host_pool_thread(RunContext& ctx, DeviceGroup& group, std::uint32_t i,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  VirtualDevice& dev = group.device(i);
+  std::uint64_t since_merge_check = 0;
+  while (!ctx.stop.load(std::memory_order_acquire)) {
+    // (a) Retire finished batches.
+    while (auto p = dev.outbox().try_pop()) ctx.handle_result(*p);
+    if (ctx.budget_exhausted()) {
+      ctx.stop.store(true, std::memory_order_release);
+      break;
+    }
+    // (b) Feed the device.
+    Packet pkt = ctx.make_packet(i, rng);
+    while (!ctx.stop.load(std::memory_order_acquire)) {
+      if (dev.inbox().try_push(pkt)) break;
+      // Inbox full: retire results while waiting so the pipeline drains.
+      if (auto p = dev.outbox().try_pop()) {
+        ctx.handle_result(*p);
+      } else {
+        std::this_thread::yield();
+      }
+      if (ctx.budget_exhausted()) {
+        ctx.stop.store(true, std::memory_order_release);
+        break;
+      }
+    }
+    // (c) Pool-0 housekeeping: merged-ring restart.
+    if (i == 0 && ++since_merge_check >= ctx.cfg.merge_check_interval) {
+      since_merge_check = 0;
+      ctx.maybe_restart(rng);
+    }
+  }
+}
+
+void run_threaded(RunContext& ctx, DeviceGroup& group,
+                  MersenneSeeder& seeder) {
+  group.start_all();
+  std::vector<std::thread> hosts;
+  hosts.reserve(group.device_count());
+  const auto seeds = seeder.seeds(group.device_count());
+  for (std::uint32_t i = 0; i < group.device_count(); ++i) {
+    hosts.emplace_back(host_pool_thread, std::ref(ctx), std::ref(group), i,
+                       seeds[i]);
+  }
+  for (auto& t : hosts) t.join();
+  group.stop_all();
+}
+
+void run_synchronous(RunContext& ctx, DeviceGroup& group,
+                     MersenneSeeder& seeder) {
+  const std::size_t devices = group.device_count();
+  std::vector<Rng> rngs;
+  rngs.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) rngs.push_back(seeder.next_rng());
+  std::vector<std::size_t> rr(devices, 0);
+
+  std::uint64_t round = 0;
+  while (!ctx.stop.load(std::memory_order_relaxed)) {
+    if (ctx.budget_exhausted()) break;
+    const auto i = static_cast<std::uint32_t>(round % devices);
+    Packet pkt = ctx.make_packet(i, rngs[i]);
+    VirtualDevice& dev = group.device(i);
+    const Packet out = dev.execute(pkt, rr[i]);
+    rr[i] = (rr[i] + 1) % dev.block_count();
+    ctx.handle_result(out);
+    ++round;
+    if (round % (ctx.cfg.merge_check_interval * devices) == 0) {
+      ctx.maybe_restart(rngs[0]);
+    }
+  }
+}
+
+}  // namespace
+
+DabsSolver::DabsSolver(SolverConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+SolveResult DabsSolver::solve(const QuboModel& model) {
+  DABS_CHECK(model.size() > 0, "cannot solve an empty model");
+  MersenneSeeder seeder(config_.seed);
+  IslandRing ring(config_.devices, config_.pool_capacity, model.size(),
+                  seeder);
+  DeviceGroup group(model, config_.devices, config_.device, seeder);
+  RunContext ctx(config_, model, ring);
+
+  // Seed the pools (and the global best) with any warm-start solutions.
+  for (std::size_t i = 0; i < config_.warm_start.size(); ++i) {
+    const BitVector& x = config_.warm_start[i];
+    DABS_CHECK(x.size() == model.size(),
+               "warm-start solution length mismatch");
+    Packet p;
+    p.solution = x;
+    p.energy = model.energy(x);
+    p.algo = config_.algorithms[i % config_.algorithms.size()];
+    p.op = config_.operations[i % config_.operations.size()];
+    p.pool_index = static_cast<std::uint32_t>(i % config_.devices);
+    ctx.handle_result(p);
+  }
+
+  if (config_.mode == ExecutionMode::kThreaded) {
+    run_threaded(ctx, group, seeder);
+  } else {
+    run_synchronous(ctx, group, seeder);
+  }
+
+  SolveResult r;
+  r.best_solution = ctx.best;
+  r.best_energy = ctx.best_energy;
+  r.reached_target = ctx.reached_target;
+  r.tts_seconds = ctx.tts_seconds;
+  r.elapsed_seconds = ctx.clock.elapsed_seconds();
+  r.batches = ctx.generated.load();
+  r.restarts = ctx.restarts.load();
+  r.stats = ctx.stats.snapshot();
+  return r;
+}
+
+}  // namespace dabs

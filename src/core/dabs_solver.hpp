@@ -1,0 +1,61 @@
+// DabsSolver — the full Diverse Adaptive Bulk Search framework (paper §V):
+//
+//   host                                 devices
+//   ----                                 -------
+//   pool 0  <- host thread 0 ->  virtual device 0 (block executors)
+//   pool 1  <- host thread 1 ->  virtual device 1
+//   ...                                   ...
+//
+// Each host thread repeatedly (a) drains its device's outbox, inserting
+// result packets into its pool and updating the global best, and (b)
+// generates new target packets: the adaptive selector chooses a main search
+// algorithm and a genetic operation (95 % from pool records / 5 % uniform),
+// the operation builds a target vector (Xrossover consulting the ring
+// neighbor pool), and the packet is pushed to the device inbox.
+//
+// Termination: target energy reached, wall-clock limit, or batch budget.
+// When every pool's best has merged to the same solution the ring restarts
+// from random pools (paper §IV-B).
+//
+// ExecutionMode::kSynchronous runs the identical logic single-threaded and
+// bit-reproducibly (used by tests and deterministic ablations).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "core/run_stats.hpp"
+#include "core/solver_config.hpp"
+#include "qubo/qubo_model.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct SolveResult {
+  BitVector best_solution;
+  Energy best_energy = kInfiniteEnergy;
+  bool reached_target = false;
+  /// Seconds from start until the target energy was first attained
+  /// (meaningful only when reached_target).
+  double tts_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  std::uint64_t batches = 0;
+  std::uint32_t restarts = 0;
+  RunStatsSnapshot stats;
+};
+
+class DabsSolver {
+ public:
+  explicit DabsSolver(SolverConfig config = {});
+
+  const SolverConfig& config() const noexcept { return config_; }
+
+  /// Runs the framework on `model` until a stop condition fires.
+  /// Re-entrant: each call builds fresh pools/devices.
+  SolveResult solve(const QuboModel& model);
+
+ private:
+  SolverConfig config_;
+};
+
+}  // namespace dabs

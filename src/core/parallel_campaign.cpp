@@ -1,0 +1,49 @@
+#include "core/parallel_campaign.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+ParallelCampaign::ParallelCampaign(SolverConfig base, std::size_t n_trials,
+                                   std::size_t threads)
+    : base_(std::move(base)), trials_(n_trials),
+      threads_(std::max<std::size_t>(1, threads)) {
+  DABS_CHECK(trials_ > 0, "campaign needs at least one trial");
+  base_.mode = ExecutionMode::kSynchronous;
+}
+
+CampaignResult ParallelCampaign::run(const QuboModel& model,
+                                     Energy target) const {
+  CampaignResult out;
+  out.final_energies.resize(trials_, kInfiniteEnergy);
+  std::vector<SolveResult> results(trials_);
+
+  ThreadPool pool(threads_);
+  for (std::size_t t = 0; t < trials_; ++t) {
+    pool.submit([this, &model, &results, target, t] {
+      SolverConfig cfg = base_;
+      cfg.seed = base_.seed + 0x9e3779b97f4a7c15ull * (t + 1);
+      cfg.stop.target_energy = target;
+      results[t] = DabsSolver(cfg).solve(model);
+    });
+  }
+  pool.wait_idle();
+
+  for (std::size_t t = 0; t < trials_; ++t) {
+    const SolveResult& r = results[t];
+    ++out.runs;
+    out.final_energies[t] = r.best_energy;
+    if (r.best_energy < out.best_energy) out.best_energy = r.best_energy;
+    if (r.reached_target && r.best_energy <= target) {
+      ++out.successes;
+      out.tts.add(r.tts_seconds);
+      out.tts_samples.push_back(r.tts_seconds);
+    }
+  }
+  return out;
+}
+
+}  // namespace dabs

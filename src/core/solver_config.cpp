@@ -1,0 +1,24 @@
+#include "core/solver_config.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+void SolverConfig::validate() const {
+  DABS_CHECK(devices > 0, "at least one device is required");
+  DABS_CHECK(device.blocks > 0, "at least one block per device is required");
+  DABS_CHECK(pool_capacity > 0, "pool capacity must be positive");
+  DABS_CHECK(!algorithms.empty(), "at least one main search algorithm");
+  DABS_CHECK(!operations.empty(), "at least one genetic operation");
+  DABS_CHECK(explore_prob >= 0.0 && explore_prob <= 1.0,
+             "explore probability must be in [0,1]");
+  DABS_CHECK(device.batch.search_flip_factor > 0.0,
+             "search flip factor must be positive");
+  DABS_CHECK(device.batch.batch_flip_factor > 0.0,
+             "batch flip factor must be positive");
+  DABS_CHECK(!stop.unbounded(),
+             "refusing an unbounded run: set a target energy, time limit, "
+             "or batch budget");
+}
+
+}  // namespace dabs

@@ -1,0 +1,30 @@
+#include "device/device_group.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+DeviceGroup::DeviceGroup(const QuboModel& model, std::size_t devices,
+                         const DeviceConfig& config, MersenneSeeder& seeder) {
+  DABS_CHECK(devices > 0, "device group needs at least one device");
+  devices_.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    devices_.push_back(std::make_unique<VirtualDevice>(model, config, seeder));
+  }
+}
+
+void DeviceGroup::start_all() {
+  for (auto& d : devices_) d->start();
+}
+
+void DeviceGroup::stop_all() {
+  for (auto& d : devices_) d->stop();
+}
+
+std::uint64_t DeviceGroup::total_batches() const {
+  std::uint64_t total = 0;
+  for (const auto& d : devices_) total += d->batches_executed();
+  return total;
+}
+
+}  // namespace dabs

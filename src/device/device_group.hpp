@@ -1,0 +1,31 @@
+// Device group: the "eight NVIDIA A100s" of the paper as a collection of
+// virtual devices, each paired 1:1 with a host solution pool.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "device/virtual_device.hpp"
+
+namespace dabs {
+
+class DeviceGroup {
+ public:
+  DeviceGroup(const QuboModel& model, std::size_t devices,
+              const DeviceConfig& config, MersenneSeeder& seeder);
+
+  std::size_t device_count() const noexcept { return devices_.size(); }
+  VirtualDevice& device(std::size_t i) { return *devices_[i]; }
+  const VirtualDevice& device(std::size_t i) const { return *devices_[i]; }
+
+  void start_all();
+  void stop_all();
+
+  std::uint64_t total_batches() const;
+
+ private:
+  std::vector<std::unique_ptr<VirtualDevice>> devices_;
+};
+
+}  // namespace dabs

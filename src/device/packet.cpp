@@ -1,0 +1,26 @@
+#include "device/packet.hpp"
+
+#include <sstream>
+
+#include "ga/op_ids.hpp"
+
+namespace dabs {
+
+std::string describe(const Packet& p, std::size_t max_bits) {
+  std::ostringstream os;
+  const std::size_t n = p.solution.size();
+  for (std::size_t i = 0; i < std::min(n, max_bits); ++i) {
+    os << (p.solution.get(i) ? '1' : '0');
+    if ((i & 3) == 3 && i + 1 < std::min(n, max_bits)) os << ' ';
+  }
+  if (n > max_bits) os << "...";
+  os << " | ";
+  if (p.has_energy())
+    os << p.energy;
+  else
+    os << "void";
+  os << " | " << to_string(p.algo) << " | " << to_string(p.op);
+  return os.str();
+}
+
+}  // namespace dabs

@@ -1,0 +1,64 @@
+#include "device/packet_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+PacketQueue::PacketQueue(std::size_t capacity) : capacity_(capacity) {
+  DABS_CHECK(capacity > 0, "queue capacity must be positive");
+}
+
+bool PacketQueue::push(Packet p) {
+  std::unique_lock lock(mu_);
+  cv_push_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(p));
+  cv_pop_.notify_one();
+  return true;
+}
+
+bool PacketQueue::try_push(Packet p) {
+  std::lock_guard lock(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(std::move(p));
+  cv_pop_.notify_one();
+  return true;
+}
+
+std::optional<Packet> PacketQueue::pop() {
+  std::unique_lock lock(mu_);
+  cv_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Packet p = std::move(items_.front());
+  items_.pop_front();
+  cv_push_.notify_one();
+  return p;
+}
+
+std::optional<Packet> PacketQueue::try_pop() {
+  std::lock_guard lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  Packet p = std::move(items_.front());
+  items_.pop_front();
+  cv_push_.notify_one();
+  return p;
+}
+
+void PacketQueue::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  cv_push_.notify_all();
+  cv_pop_.notify_all();
+}
+
+bool PacketQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t PacketQueue::size() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+}  // namespace dabs

@@ -1,0 +1,49 @@
+// Bounded, closable multi-producer/multi-consumer packet queue — the
+// host<->device transfer channel of the virtual GPU substrate.  A bounded
+// inbox gives the same back-pressure a real GPU pipeline has: the host
+// generates new target packets only as fast as device blocks retire them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "device/packet.hpp"
+
+namespace dabs {
+
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t capacity);
+
+  /// Blocks while full; returns false (dropping the packet) once closed.
+  bool push(Packet p);
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(Packet p);
+
+  /// Blocks while empty; returns nullopt once closed *and* drained.
+  std::optional<Packet> pop();
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<Packet> try_pop();
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain the remainder.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<Packet> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dabs

@@ -1,0 +1,76 @@
+#include "device/virtual_device.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+VirtualDevice::VirtualDevice(const QuboModel& model,
+                             const DeviceConfig& config,
+                             MersenneSeeder& seeder)
+    : inbox_(config.queue_capacity), outbox_(config.queue_capacity) {
+  DABS_CHECK(config.blocks > 0, "device needs at least one block");
+  blocks_.reserve(config.blocks);
+  for (std::uint32_t b = 0; b < config.blocks; ++b) {
+    blocks_.push_back(
+        std::make_unique<BatchSearch>(model, config.batch, seeder.next_seed()));
+  }
+}
+
+VirtualDevice::~VirtualDevice() { stop(); }
+
+void VirtualDevice::start() {
+  if (started_) return;
+  started_ = true;
+  threads_.reserve(blocks_.size());
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    threads_.emplace_back([this, b] { block_loop(b); });
+  }
+}
+
+void VirtualDevice::stop() {
+  if (!started_) {
+    outbox_.close();
+    inbox_.close();
+    return;
+  }
+  // Close both queues before joining: a block mid-push into a full outbox
+  // must be released (its push fails harmlessly) or join would deadlock.
+  inbox_.close();
+  outbox_.close();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  started_ = false;
+}
+
+Packet VirtualDevice::execute(const Packet& p, std::size_t block) {
+  DABS_CHECK(block < blocks_.size(), "block index out of range");
+  const BatchResult r = blocks_[block]->run(p.solution, p.algo);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  Packet out = p;
+  out.solution = r.best;
+  out.energy = r.best_energy;
+  return out;
+}
+
+bool VirtualDevice::process_next() {
+  auto p = inbox_.try_pop();
+  if (!p) return false;
+  const std::size_t block = rr_next_;
+  rr_next_ = (rr_next_ + 1) % blocks_.size();
+  // Synchronous mode uses try_push-then-push so a full outbox is an error
+  // surfaced to the caller rather than a silent deadlock.
+  const Packet out = execute(*p, block);
+  DABS_CHECK(outbox_.try_push(out),
+             "synchronous outbox full: drain results before process_next");
+  return true;
+}
+
+void VirtualDevice::block_loop(std::size_t block) {
+  for (;;) {
+    auto p = inbox_.pop();
+    if (!p) return;  // inbox closed and drained
+    outbox_.push(execute(*p, block));
+  }
+}
+
+}  // namespace dabs

@@ -1,0 +1,82 @@
+// Virtual device: the CPU stand-in for one GPU (see DESIGN.md §2).
+//
+// A real DABS device is a GPU on which many CUDA blocks independently run
+// batch searches on packets received from the host.  The virtual device
+// reproduces that architecture 1:1 in host code:
+//
+//   - `blocks` BlockExecutors, each owning a persistent BatchSearch
+//     (solution state, tabu list, RNG stream) exactly like a resident CUDA
+//     block owns its registers,
+//   - a bounded inbox of host->device packets and an outbox of results,
+//   - in threaded mode each block is a std::thread consuming the inbox;
+//   - in synchronous mode `process_next()` executes one packet inline on a
+//     round-robin block, giving bit-reproducible runs for tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "device/packet.hpp"
+#include "device/packet_queue.hpp"
+#include "qubo/qubo_model.hpp"
+#include "rng/seeder.hpp"
+#include "search/batch_search.hpp"
+
+namespace dabs {
+
+struct DeviceConfig {
+  std::uint32_t blocks = 4;        // CUDA-block-equivalents per device
+  std::size_t queue_capacity = 8;  // inbox/outbox depth (back-pressure)
+  BatchParams batch;               // s, b, tabu tenure
+};
+
+class VirtualDevice {
+ public:
+  /// Builds the device and seeds one RNG stream per block from `seeder`.
+  VirtualDevice(const QuboModel& model, const DeviceConfig& config,
+                MersenneSeeder& seeder);
+  ~VirtualDevice();
+
+  VirtualDevice(const VirtualDevice&) = delete;
+  VirtualDevice& operator=(const VirtualDevice&) = delete;
+
+  /// Spawns one consumer thread per block.  Idempotent.
+  void start();
+
+  /// Closes both queues and joins all block threads.  In-flight results
+  /// are dropped: stop() is called only once the solver has terminated.
+  void stop();
+
+  PacketQueue& inbox() noexcept { return inbox_; }
+  PacketQueue& outbox() noexcept { return outbox_; }
+
+  /// Synchronous mode: pops one inbox packet (non-blocking) and executes it
+  /// on the next round-robin block.  Returns false when the inbox is empty.
+  bool process_next();
+
+  /// Executes `p` inline on block `block` and returns the result packet.
+  Packet execute(const Packet& p, std::size_t block);
+
+  std::uint32_t block_count() const noexcept {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+  std::uint64_t batches_executed() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void block_loop(std::size_t block);
+
+  PacketQueue inbox_;
+  PacketQueue outbox_;
+  std::vector<std::unique_ptr<BatchSearch>> blocks_;
+  std::vector<std::thread> threads_;
+  std::size_t rr_next_ = 0;  // synchronous-mode round-robin cursor
+  std::atomic<std::uint64_t> batches_{0};
+  bool started_ = false;
+};
+
+}  // namespace dabs

@@ -1,0 +1,56 @@
+#include "ga/adaptive_selector.hpp"
+
+#include <algorithm>
+
+#include "ga/genetic_ops.hpp"
+#include "util/assert.hpp"
+
+namespace dabs {
+
+AdaptiveSelector::AdaptiveSelector()
+    : AdaptiveSelector(
+          std::vector<MainSearch>(kAllMainSearches.begin(),
+                                  kAllMainSearches.end()),
+          std::vector<GeneticOp>(kDabsGeneticOps.begin(),
+                                 kDabsGeneticOps.end())) {}
+
+AdaptiveSelector::AdaptiveSelector(std::vector<MainSearch> algos,
+                                   std::vector<GeneticOp> ops,
+                                   double explore_prob)
+    : algos_(std::move(algos)), ops_(std::move(ops)),
+      explore_prob_(explore_prob) {
+  DABS_CHECK(!algos_.empty(), "selector needs at least one algorithm");
+  DABS_CHECK(!ops_.empty(), "selector needs at least one operation");
+  DABS_CHECK(explore_prob_ >= 0.0 && explore_prob_ <= 1.0,
+             "explore probability must be in [0,1]");
+}
+
+bool AdaptiveSelector::algo_allowed(MainSearch s) const {
+  return std::find(algos_.begin(), algos_.end(), s) != algos_.end();
+}
+
+bool AdaptiveSelector::op_allowed(GeneticOp op) const {
+  return std::find(ops_.begin(), ops_.end(), op) != ops_.end();
+}
+
+MainSearch AdaptiveSelector::select_algorithm(const SolutionPool& pool,
+                                              Rng& rng) const {
+  if (pool.size() > 0 && !rng.next_bernoulli(explore_prob_)) {
+    const MainSearch s = pool.select_uniform(rng).algo;
+    if (algo_allowed(s)) return s;
+    // A record outside the allowed set (e.g. after reconfiguration) falls
+    // through to exploration.
+  }
+  return algos_[rng.next_index(algos_.size())];
+}
+
+GeneticOp AdaptiveSelector::select_operation(const SolutionPool& pool,
+                                             Rng& rng) const {
+  if (pool.size() > 0 && !rng.next_bernoulli(explore_prob_)) {
+    const GeneticOp op = pool.select_uniform(rng).op;
+    if (op_allowed(op)) return op;
+  }
+  return ops_[rng.next_index(ops_.size())];
+}
+
+}  // namespace dabs

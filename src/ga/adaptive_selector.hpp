@@ -1,0 +1,54 @@
+// Adaptive selection of main search algorithm and genetic operation
+// (paper §IV-A):
+//
+//   with probability  epsilon (default 5 %): pick uniformly from the allowed
+//                                            set (exploration);
+//   with probability 1-epsilon (default 95 %): pick a uniformly random pool
+//                                            row and reuse the algorithm /
+//                                            operation recorded there
+//                                            (exploitation — operations that
+//                                            produced good solutions occupy
+//                                            more rows).
+//
+// The allowed sets are configurable so the ABS baseline (CyclicMin +
+// MutateCrossover only) and the ablation benches can restrict diversity.
+#pragma once
+
+#include <vector>
+
+#include "ga/op_ids.hpp"
+#include "ga/solution_pool.hpp"
+#include "rng/xorshift.hpp"
+#include "search/registry.hpp"
+
+namespace dabs {
+
+class AdaptiveSelector {
+ public:
+  /// Full DABS diversity: all five algorithms, all eight operations.
+  AdaptiveSelector();
+
+  AdaptiveSelector(std::vector<MainSearch> algos, std::vector<GeneticOp> ops,
+                   double explore_prob = 0.05);
+
+  MainSearch select_algorithm(const SolutionPool& pool, Rng& rng) const;
+  GeneticOp select_operation(const SolutionPool& pool, Rng& rng) const;
+
+  const std::vector<MainSearch>& allowed_algorithms() const noexcept {
+    return algos_;
+  }
+  const std::vector<GeneticOp>& allowed_operations() const noexcept {
+    return ops_;
+  }
+  double explore_prob() const noexcept { return explore_prob_; }
+
+ private:
+  bool algo_allowed(MainSearch s) const;
+  bool op_allowed(GeneticOp op) const;
+
+  std::vector<MainSearch> algos_;
+  std::vector<GeneticOp> ops_;
+  double explore_prob_;
+};
+
+}  // namespace dabs

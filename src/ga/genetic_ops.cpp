@@ -1,0 +1,123 @@
+#include "ga/genetic_ops.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+std::string_view to_string(GeneticOp op) {
+  switch (op) {
+    case GeneticOp::kRandom:
+      return "Random";
+    case GeneticOp::kBest:
+      return "Best";
+    case GeneticOp::kMutation:
+      return "Mutation";
+    case GeneticOp::kCrossover:
+      return "Crossover";
+    case GeneticOp::kXrossover:
+      return "Xrossover";
+    case GeneticOp::kZero:
+      return "Zero";
+    case GeneticOp::kOne:
+      return "One";
+    case GeneticOp::kIntervalZero:
+      return "IntervalZero";
+    case GeneticOp::kMutateCrossover:
+      return "MutateCrossover";
+  }
+  return "?";
+}
+
+BitVector random_bit_vector(std::size_t n, Rng& rng) {
+  BitVector v(n);
+  for (std::size_t w = 0; w < v.word_count(); ++w) v.words()[w] = rng();
+  // Re-normalize the tail: simplest is to rewrite the final partial word.
+  for (std::size_t i = (n / 64) * 64; i < n; ++i) v.set(i, rng.next_bit());
+  if (n % 64 != 0) {
+    // Clear bits beyond n in the last word.
+    const std::uint64_t keep = (std::uint64_t{1} << (n % 64)) - 1;
+    v.words()[v.word_count() - 1] &= keep;
+  }
+  return v;
+}
+
+namespace {
+
+BitVector mutate(BitVector v, double p, Rng& rng) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (rng.next_bernoulli(p)) v.flip(i);
+  }
+  return v;
+}
+
+BitVector uniform_mix(const BitVector& a, const BitVector& b, Rng& rng) {
+  DABS_ASSERT(a.size() == b.size());
+  BitVector v(a.size());
+  // Word-wise mix: a random mask chooses each bit's parent.
+  for (std::size_t w = 0; w < v.word_count(); ++w) {
+    const std::uint64_t mask = rng();
+    v.words()[w] = (a.words()[w] & mask) | (b.words()[w] & ~mask);
+  }
+  return v;
+}
+
+BitVector overwrite_random_bits(BitVector v, double p, bool value, Rng& rng) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (rng.next_bernoulli(p)) v.set(i, value);
+  }
+  return v;
+}
+
+BitVector interval_zero(BitVector v, std::uint32_t min_len, Rng& rng) {
+  const std::size_t n = v.size();
+  const std::size_t lo = std::min<std::size_t>(min_len, std::max<std::size_t>(1, n / 2));
+  const std::size_t hi = std::max<std::size_t>(lo, n / 2);
+  const std::size_t len = lo + rng.next_index(hi - lo + 1);
+  const std::size_t start = rng.next_index(n);
+  for (std::size_t o = 0; o < len; ++o) v.set((start + o) % n, false);
+  return v;
+}
+
+}  // namespace
+
+BitVector apply_genetic_op(GeneticOp op, std::size_t n,
+                           const SolutionPool& pool,
+                           const SolutionPool* neighbor, Rng& rng,
+                           const GeneticOpParams& params) {
+  switch (op) {
+    case GeneticOp::kRandom:
+      return random_bit_vector(n, rng);
+    case GeneticOp::kBest:
+      return pool.entry(0).solution;
+    case GeneticOp::kMutation:
+      return mutate(pool.select_cube_weighted(rng).solution,
+                    params.mutation_prob, rng);
+    case GeneticOp::kCrossover:
+      return uniform_mix(pool.select_cube_weighted(rng).solution,
+                         pool.select_cube_weighted(rng).solution, rng);
+    case GeneticOp::kXrossover: {
+      const SolutionPool& other = neighbor ? *neighbor : pool;
+      return uniform_mix(pool.select_cube_weighted(rng).solution,
+                         other.select_cube_weighted(rng).solution, rng);
+    }
+    case GeneticOp::kZero:
+      return overwrite_random_bits(pool.select_cube_weighted(rng).solution,
+                                   params.zero_prob, false, rng);
+    case GeneticOp::kOne:
+      return overwrite_random_bits(pool.select_cube_weighted(rng).solution,
+                                   params.one_prob, true, rng);
+    case GeneticOp::kIntervalZero:
+      return interval_zero(pool.select_cube_weighted(rng).solution,
+                           params.interval_min, rng);
+    case GeneticOp::kMutateCrossover:
+      return mutate(uniform_mix(pool.select_cube_weighted(rng).solution,
+                                pool.select_cube_weighted(rng).solution, rng),
+                    params.mutation_prob, rng);
+  }
+  DABS_CHECK(false, "unknown GeneticOp id");
+  return BitVector(n);
+}
+
+}  // namespace dabs

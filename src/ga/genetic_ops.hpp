@@ -1,0 +1,38 @@
+// The eight genetic operations of the DABS host (paper §IV-A), plus the
+// composite "mutation after crossover" operation that the ABS baseline [16]
+// uses exclusively.
+//
+// Each operation produces a *target solution vector* from (at most two)
+// solutions selected from a pool with the cube-weighted rank rule
+// floor(r^3 * m), which prefers better-ranked entries.
+#pragma once
+
+#include "ga/op_ids.hpp"
+#include "ga/solution_pool.hpp"
+#include "rng/xorshift.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct GeneticOpParams {
+  double mutation_prob = 0.125;     // per-bit flip probability (paper: 1/8)
+  double zero_prob = 0.125;         // per-bit zeroing probability
+  double one_prob = 0.125;          // per-bit one-setting probability
+  std::uint32_t interval_min = 32;  // IntervalZero segment length lower bound
+};
+
+/// Applies `op` to produce a target vector of length n.
+///
+/// `pool` supplies parent solutions; `neighbor` is the next pool on the
+/// island ring and is only consulted by Xrossover (when null, Xrossover
+/// degrades to an ordinary Crossover within `pool`).
+BitVector apply_genetic_op(GeneticOp op, std::size_t n,
+                           const SolutionPool& pool,
+                           const SolutionPool* neighbor, Rng& rng,
+                           const GeneticOpParams& params = {});
+
+/// Uniformly random n-bit vector (the Random operation; also used to seed
+/// pools).
+BitVector random_bit_vector(std::size_t n, Rng& rng);
+
+}  // namespace dabs

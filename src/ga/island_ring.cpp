@@ -1,0 +1,49 @@
+#include "ga/island_ring.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+IslandRing::IslandRing(std::size_t pools, std::size_t capacity, std::size_t n,
+                       MersenneSeeder& seeder) {
+  DABS_CHECK(pools > 0, "island ring needs at least one pool");
+  pools_.reserve(pools);
+  for (std::size_t i = 0; i < pools; ++i) {
+    auto p = std::make_unique<SolutionPool>(capacity, n);
+    Rng rng = seeder.next_rng();
+    p->initialize_random(rng);
+    pools_.push_back(std::move(p));
+  }
+}
+
+Energy IslandRing::global_best_energy() const {
+  Energy best = kInfiniteEnergy;
+  for (const auto& p : pools_) best = std::min(best, p->best_energy());
+  return best;
+}
+
+bool IslandRing::merged() const {
+  if (pools_.size() < 2) return false;
+  if (pools_[0]->size() == 0) return false;
+  const PoolEntry first = pools_[0]->entry(0);
+  if (first.energy == kInfiniteEnergy) return false;
+  for (std::size_t i = 1; i < pools_.size(); ++i) {
+    if (pools_[i]->size() == 0) return false;
+    const PoolEntry e = pools_[i]->entry(0);
+    if (e.energy != first.energy || !(e.solution == first.solution)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void IslandRing::restart_all(MersenneSeeder& seeder) {
+  for (auto& p : pools_) {
+    Rng rng = seeder.next_rng();
+    p->restart(rng);
+  }
+}
+
+}  // namespace dabs

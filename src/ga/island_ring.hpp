@@ -1,0 +1,50 @@
+// Island model (paper §IV-B): one solution pool per device arranged on a
+// ring.  DABS performs no migration; inter-pool mixing happens only through
+// the Xrossover operation, which crosses a solution from pool i with one
+// from its ring neighbor pool (i+1) mod P.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ga/solution_pool.hpp"
+#include "rng/seeder.hpp"
+
+namespace dabs {
+
+class IslandRing {
+ public:
+  /// `pools` pools of `capacity` entries over `n`-bit solutions, each
+  /// initialized full of random +infinity-energy entries from `seeder`.
+  IslandRing(std::size_t pools, std::size_t capacity, std::size_t n,
+             MersenneSeeder& seeder);
+
+  std::size_t pool_count() const noexcept { return pools_.size(); }
+
+  SolutionPool& pool(std::size_t i) { return *pools_[i]; }
+  const SolutionPool& pool(std::size_t i) const { return *pools_[i]; }
+
+  std::size_t neighbor_index(std::size_t i) const {
+    return (i + 1) % pools_.size();
+  }
+  SolutionPool& neighbor(std::size_t i) { return *pools_[neighbor_index(i)]; }
+  const SolutionPool& neighbor(std::size_t i) const {
+    return *pools_[neighbor_index(i)];
+  }
+
+  /// Lowest energy across all pools.
+  Energy global_best_energy() const;
+
+  /// True when every pool's best solution is identical — the "merged ring"
+  /// condition after which the paper restarts from random pools.
+  bool merged() const;
+
+  /// Re-randomizes every pool (the restart).
+  void restart_all(MersenneSeeder& seeder);
+
+ private:
+  std::vector<std::unique_ptr<SolutionPool>> pools_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,38 @@
+// Identifiers for the genetic operations (paper §IV-A).  Split from the
+// operation implementations so headers that only *name* operations (pool,
+// packets, run statistics) stay lightweight.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dabs {
+
+enum class GeneticOp : std::uint8_t {
+  kRandom = 0,
+  kBest,
+  kMutation,
+  kCrossover,
+  kXrossover,
+  kZero,
+  kOne,
+  kIntervalZero,
+  // ABS baseline only ("mutation after crossover"); excluded from DABS's
+  // adaptive choice set.
+  kMutateCrossover,
+};
+
+/// Operations DABS selects among (the paper's eight).
+inline constexpr std::size_t kDabsGeneticOpCount = 8;
+/// All operations including the ABS composite.
+inline constexpr std::size_t kGeneticOpCount = 9;
+
+inline constexpr std::array<GeneticOp, kDabsGeneticOpCount> kDabsGeneticOps = {
+    GeneticOp::kRandom,    GeneticOp::kBest,      GeneticOp::kMutation,
+    GeneticOp::kCrossover, GeneticOp::kXrossover, GeneticOp::kZero,
+    GeneticOp::kOne,       GeneticOp::kIntervalZero};
+
+std::string_view to_string(GeneticOp op);
+
+}  // namespace dabs

@@ -1,0 +1,24 @@
+// Gset MaxCut file format (Ye's collection): a header line "n m" followed
+// by m lines "u v w" with 1-based node indices.  Lets users drop in the
+// real G22/G39 files next to the built-in generators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "problems/maxcut.hpp"
+
+namespace dabs::io {
+
+/// Parses a Gset stream; throws std::invalid_argument on malformed input.
+problems::MaxCutInstance read_gset(std::istream& in, std::string name = "gset");
+
+/// Reads a Gset file from disk.
+problems::MaxCutInstance read_gset_file(const std::string& path);
+
+/// Writes an instance in Gset format.
+void write_gset(std::ostream& out, const problems::MaxCutInstance& inst);
+void write_gset_file(const std::string& path,
+                     const problems::MaxCutInstance& inst);
+
+}  // namespace dabs::io

@@ -1,0 +1,155 @@
+#include "io/json_writer.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dabs::io {
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+
+JsonWriter::~JsonWriter() {
+  // Close any scopes the caller forgot; keeps output parseable even on
+  // error paths.
+  while (!stack_.empty()) {
+    out_ << (stack_.back().first == Scope::kObject ? '}' : ']');
+    stack_.pop_back();
+  }
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+void JsonWriter::comma_and_key(const std::string& key) {
+  if (!stack_.empty()) {
+    if (stack_.back().second) out_ << ',';
+    stack_.back().second = true;
+    if (stack_.back().first == Scope::kObject) {
+      DABS_CHECK(!key.empty(), "object members require a key");
+      out_ << '"' << escape(key) << "\":";
+    } else {
+      DABS_CHECK(key.empty(), "array elements must not carry a key");
+    }
+  } else {
+    DABS_CHECK(!started_, "only one top-level JSON value is allowed");
+    DABS_CHECK(key.empty(), "the top-level value has no key");
+  }
+  started_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  comma_and_key(key);
+  out_ << '{';
+  stack_.emplace_back(Scope::kObject, false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DABS_CHECK(!stack_.empty() && stack_.back().first == Scope::kObject,
+             "end_object without matching begin_object");
+  out_ << '}';
+  stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  comma_and_key(key);
+  out_ << '[';
+  stack_.emplace_back(Scope::kArray, false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DABS_CHECK(!stack_.empty() && stack_.back().first == Scope::kArray,
+             "end_array without matching begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, const std::string& v) {
+  comma_and_key(key);
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, const char* v) {
+  return value(key, std::string(v));
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, std::int64_t v) {
+  comma_and_key(key);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, std::uint64_t v) {
+  comma_and_key(key);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, double v) {
+  comma_and_key(key);
+  DABS_CHECK(std::isfinite(v), "JSON cannot represent non-finite numbers");
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, bool v) {
+  comma_and_key(key);
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(const std::string& v) {
+  comma_and_key("");
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(std::int64_t v) {
+  comma_and_key("");
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::element(double v) {
+  comma_and_key("");
+  DABS_CHECK(std::isfinite(v), "JSON cannot represent non-finite numbers");
+  out_ << v;
+  return *this;
+}
+
+}  // namespace dabs::io

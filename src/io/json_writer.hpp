@@ -1,0 +1,54 @@
+// Minimal JSON emitter for machine-readable bench/tool output.  Not a
+// general JSON library: write-only, with correct string escaping and
+// streaming object/array scopes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dabs::io {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// Scopes.  Keys are required inside objects, forbidden inside arrays.
+  JsonWriter& begin_object(const std::string& key = "");
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = "");
+  JsonWriter& end_array();
+
+  /// Values.
+  JsonWriter& value(const std::string& key, const std::string& v);
+  JsonWriter& value(const std::string& key, const char* v);
+  JsonWriter& value(const std::string& key, std::int64_t v);
+  JsonWriter& value(const std::string& key, std::uint64_t v);
+  JsonWriter& value(const std::string& key, double v);
+  JsonWriter& value(const std::string& key, bool v);
+
+  /// Array elements.
+  JsonWriter& element(const std::string& v);
+  JsonWriter& element(std::int64_t v);
+  JsonWriter& element(double v);
+
+  /// True once every scope is closed.
+  bool complete() const noexcept { return stack_.empty() && started_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void comma_and_key(const std::string& key);
+
+  std::ostream& out_;
+  std::vector<std::pair<Scope, bool>> stack_;  // (scope, has_items)
+  bool started_ = false;
+};
+
+}  // namespace dabs::io

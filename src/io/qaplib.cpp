@@ -1,0 +1,60 @@
+#include "io/qaplib.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace dabs::io {
+
+problems::QapInstance read_qaplib(std::istream& in, std::string name) {
+  std::size_t n = 0;
+  DABS_CHECK(static_cast<bool>(in >> n), "qaplib: missing size header");
+  DABS_CHECK(n >= 2, "qaplib: instance smaller than 2");
+  problems::QapInstance inst;
+  inst.n = n;
+  inst.name = std::move(name);
+  inst.flow.resize(n * n);
+  inst.dist.resize(n * n);
+  // QAPLIB convention: flow matrix A first, then distance matrix B.
+  for (auto& v : inst.flow) {
+    DABS_CHECK(static_cast<bool>(in >> v), "qaplib: truncated flow matrix");
+  }
+  for (auto& v : inst.dist) {
+    DABS_CHECK(static_cast<bool>(in >> v),
+               "qaplib: truncated distance matrix");
+  }
+  return inst;
+}
+
+problems::QapInstance read_qaplib_file(const std::string& path) {
+  std::ifstream in(path);
+  DABS_CHECK(in.good(), "qaplib: cannot open file " + path);
+  const auto slash = path.find_last_of('/');
+  return read_qaplib(in, slash == std::string::npos
+                             ? path
+                             : path.substr(slash + 1));
+}
+
+void write_qaplib(std::ostream& out, const problems::QapInstance& inst) {
+  out << inst.n << "\n\n";
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    for (std::size_t j = 0; j < inst.n; ++j) {
+      out << inst.flow[i * inst.n + j] << (j + 1 == inst.n ? '\n' : ' ');
+    }
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    for (std::size_t j = 0; j < inst.n; ++j) {
+      out << inst.dist[i * inst.n + j] << (j + 1 == inst.n ? '\n' : ' ');
+    }
+  }
+}
+
+void write_qaplib_file(const std::string& path,
+                       const problems::QapInstance& inst) {
+  std::ofstream out(path);
+  DABS_CHECK(out.good(), "qaplib: cannot open file for writing " + path);
+  write_qaplib(out, inst);
+}
+
+}  // namespace dabs::io

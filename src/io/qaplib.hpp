@@ -1,0 +1,23 @@
+// QAPLIB .dat format: the instance size n followed by the n x n flow matrix
+// and the n x n distance matrix, whitespace-separated.  Lets users drop in
+// real tai20a/tho30/nug30 files next to the built-in generators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "problems/qap.hpp"
+
+namespace dabs::io {
+
+/// Parses a QAPLIB stream; throws std::invalid_argument on malformed input.
+problems::QapInstance read_qaplib(std::istream& in,
+                                  std::string name = "qaplib");
+
+problems::QapInstance read_qaplib_file(const std::string& path);
+
+void write_qaplib(std::ostream& out, const problems::QapInstance& inst);
+void write_qaplib_file(const std::string& path,
+                       const problems::QapInstance& inst);
+
+}  // namespace dabs::io

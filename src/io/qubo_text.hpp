@@ -1,0 +1,23 @@
+// Simple textual QUBO exchange format:
+//
+//   qubo <n> <edge-count>
+//   d <i> <w>        # diagonal term W_{i,i}
+//   q <i> <j> <w>    # quadratic term W_{i,j}, i != j
+//
+// 0-based indices, '#' comments and blank lines allowed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qubo/qubo_model.hpp"
+
+namespace dabs::io {
+
+QuboModel read_qubo(std::istream& in);
+QuboModel read_qubo_file(const std::string& path);
+
+void write_qubo(std::ostream& out, const QuboModel& model);
+void write_qubo_file(const std::string& path, const QuboModel& model);
+
+}  // namespace dabs::io

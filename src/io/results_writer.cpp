@@ -1,0 +1,89 @@
+#include "io/results_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dabs::io {
+
+ResultsTable::ResultsTable(std::string title) : title_(std::move(title)) {}
+
+ResultsTable& ResultsTable::columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+  return *this;
+}
+
+ResultsTable& ResultsTable::add_row(std::vector<std::string> cells) {
+  DABS_CHECK(cells.size() == columns_.size(),
+             "row width does not match column count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void ResultsTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2)
+          << cells[c];
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void ResultsTable::write_tsv(const std::string& path) const {
+  std::ofstream out(path);
+  DABS_CHECK(out.good(), "cannot open TSV output " + path);
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c] << (c + 1 == cells.size() ? '\n' : '\t');
+    }
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_energy(long long e) {
+  // Group thousands like the paper (-33,337).
+  std::string digits = std::to_string(e < 0 ? -e : e);
+  std::string grouped;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped.push_back(',');
+    grouped.push_back(*it);
+    ++count;
+  }
+  std::reverse(grouped.begin(), grouped.end());
+  return (e < 0 ? "-" : "") + grouped;
+}
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(s < 10 ? 3 : 1) << s << "s";
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_gap(double fraction) {
+  std::ostringstream os;
+  os << std::setprecision(3) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace dabs::io

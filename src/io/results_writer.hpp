@@ -1,0 +1,40 @@
+// Small table/record writer used by the benchmark harness to print rows in
+// the shape of the paper's tables (and optionally mirror them to a TSV
+// file for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dabs::io {
+
+class ResultsTable {
+ public:
+  explicit ResultsTable(std::string title);
+
+  /// Column headers; call once before add_row.
+  ResultsTable& columns(std::vector<std::string> names);
+
+  /// One row of pre-rendered cells (use format helpers below).
+  ResultsTable& add_row(std::vector<std::string> cells);
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& out) const;
+
+  /// Tab-separated dump (one header line + rows).
+  void write_tsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt_energy(long long e);
+std::string fmt_seconds(double s);
+std::string fmt_percent(double fraction, int decimals = 1);
+std::string fmt_gap(double fraction);
+
+}  // namespace dabs::io

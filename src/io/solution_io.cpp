@@ -1,0 +1,39 @@
+#include "io/solution_io.hpp"
+
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace dabs::io {
+
+void write_solution(std::ostream& out, const BitVector& x, Energy energy) {
+  out << "solution " << x.size() << ' ' << energy << '\n'
+      << x.to_string() << '\n';
+}
+
+void write_solution_file(const std::string& path, const BitVector& x,
+                         Energy energy) {
+  std::ofstream out(path);
+  DABS_CHECK(out.good(), "solution: cannot open for writing " + path);
+  write_solution(out, x, energy);
+}
+
+StoredSolution read_solution(std::istream& in) {
+  std::string tag;
+  std::size_t n = 0;
+  Energy e = 0;
+  DABS_CHECK(static_cast<bool>(in >> tag >> n >> e) && tag == "solution",
+             "solution: malformed header");
+  std::string bits;
+  DABS_CHECK(static_cast<bool>(in >> bits), "solution: missing bit string");
+  DABS_CHECK(bits.size() == n, "solution: bit string length mismatch");
+  return {BitVector::from_string(bits), e};
+}
+
+StoredSolution read_solution_file(const std::string& path) {
+  std::ifstream in(path);
+  DABS_CHECK(in.good(), "solution: cannot open " + path);
+  return read_solution(in);
+}
+
+}  // namespace dabs::io

@@ -1,0 +1,30 @@
+// Solution exchange format: persist best solutions with their energies so
+// runs can be resumed / cross-checked (e.g. feeding a DABS solution to an
+// external solver as a warm start, as the paper does with Gurobi when
+// validating "potentially optimal" solutions).
+//
+//   solution <n> <energy>
+//   <bit string of length n, '0'/'1', bit 0 first>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qubo/types.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs::io {
+
+struct StoredSolution {
+  BitVector solution;
+  Energy energy;
+};
+
+void write_solution(std::ostream& out, const BitVector& x, Energy energy);
+void write_solution_file(const std::string& path, const BitVector& x,
+                         Energy energy);
+
+StoredSolution read_solution(std::istream& in);
+StoredSolution read_solution_file(const std::string& path);
+
+}  // namespace dabs::io

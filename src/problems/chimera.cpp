@@ -1,0 +1,80 @@
+#include "problems/chimera.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs::problems {
+
+ChimeraGraph::ChimeraGraph(std::size_t m) : m_(m) {
+  DABS_CHECK(m >= 1, "Chimera requires m >= 1");
+  auto id = [&](std::size_t y, std::size_t x, unsigned u, unsigned k) {
+    return static_cast<VarIndex>(((y * m_ + x) * 2 + u) * 4 + k);
+  };
+  // Internal K4,4 couplers.
+  for (std::size_t y = 0; y < m; ++y) {
+    for (std::size_t x = 0; x < m; ++x) {
+      for (unsigned k = 0; k < 4; ++k) {
+        for (unsigned k2 = 0; k2 < 4; ++k2) {
+          edges_.emplace_back(id(y, x, 0, k), id(y, x, 1, k2));
+        }
+      }
+    }
+  }
+  // External vertical couplers (u = 0 qubits span rows).
+  for (std::size_t y = 0; y + 1 < m; ++y) {
+    for (std::size_t x = 0; x < m; ++x) {
+      for (unsigned k = 0; k < 4; ++k) {
+        edges_.emplace_back(id(y, x, 0, k), id(y + 1, x, 0, k));
+      }
+    }
+  }
+  // External horizontal couplers (u = 1 qubits span columns).
+  for (std::size_t y = 0; y < m; ++y) {
+    for (std::size_t x = 0; x + 1 < m; ++x) {
+      for (unsigned k = 0; k < 4; ++k) {
+        edges_.emplace_back(id(y, x, 1, k), id(y, x + 1, 1, k));
+      }
+    }
+  }
+}
+
+VarIndex ChimeraGraph::node_id(const ChimeraCoord& c) const {
+  DABS_CHECK(c.y < m_ && c.x < m_ && c.u < 2 && c.k < 4,
+             "Chimera coordinate out of range");
+  return static_cast<VarIndex>(((c.y * m_ + c.x) * 2 + c.u) * 4 + c.k);
+}
+
+ChimeraCoord ChimeraGraph::coord(VarIndex v) const {
+  DABS_CHECK(v < node_count(), "node id out of range");
+  ChimeraCoord c;
+  c.k = static_cast<std::uint8_t>(v % 4);
+  v /= 4;
+  c.u = static_cast<std::uint8_t>(v % 2);
+  v /= 2;
+  c.x = static_cast<std::uint16_t>(v % m_);
+  c.y = static_cast<std::uint16_t>(v / m_);
+  return c;
+}
+
+bool ChimeraGraph::adjacent(VarIndex a, VarIndex b) const {
+  const ChimeraCoord ca = coord(a), cb = coord(b);
+  if (ca.y == cb.y && ca.x == cb.x) {
+    return ca.u != cb.u;  // internal K4,4
+  }
+  if (ca.u != cb.u) return false;
+  if (ca.k != cb.k) return false;
+  if (ca.u == 0) {
+    return ca.x == cb.x && (ca.y + 1 == cb.y || cb.y + 1 == ca.y);
+  }
+  return ca.y == cb.y && (ca.x + 1 == cb.x || cb.x + 1 == ca.x);
+}
+
+std::vector<std::uint32_t> ChimeraGraph::degrees() const {
+  std::vector<std::uint32_t> deg(node_count(), 0);
+  for (const auto& [a, b] : edges_) {
+    ++deg[a];
+    ++deg[b];
+  }
+  return deg;
+}
+
+}  // namespace dabs::problems

@@ -1,0 +1,49 @@
+// Chimera C(m) topology — the D-Wave 2000Q quantum network (paper §I-A):
+// an m x m grid of K_{4,4} unit cells.  Qubits are addressed (y, x, u, k)
+// with row y, column x, orientation u (0 = vertical side of the cell,
+// 1 = horizontal side), and index k in [0, 4); C(m) has 8 m^2 qubits.
+//
+// Couplers:
+//   internal: (y, x, 0, k) ~ (y, x, 1, k')  for all k, k'   (the K_{4,4})
+//   external: (y, x, 0, k) ~ (y+1, x, 0, k)                 (vertical)
+//             (y, x, 1, k) ~ (y, x+1, 1, k)                 (horizontal)
+//
+// C(16) is the 2048-qubit D-Wave 2000Q graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/types.hpp"
+
+namespace dabs::problems {
+
+struct ChimeraCoord {
+  std::uint16_t y, x;
+  std::uint8_t u, k;
+};
+
+class ChimeraGraph {
+ public:
+  explicit ChimeraGraph(std::size_t m);
+
+  std::size_t m() const noexcept { return m_; }
+  std::size_t node_count() const noexcept { return 8 * m_ * m_; }
+  const std::vector<std::pair<VarIndex, VarIndex>>& edges() const noexcept {
+    return edges_;
+  }
+
+  VarIndex node_id(const ChimeraCoord& c) const;
+  ChimeraCoord coord(VarIndex id) const;
+
+  /// True when a coupler exists between the two qubits.
+  bool adjacent(VarIndex a, VarIndex b) const;
+
+  std::vector<std::uint32_t> degrees() const;
+
+ private:
+  std::size_t m_;
+  std::vector<std::pair<VarIndex, VarIndex>> edges_;
+};
+
+}  // namespace dabs::problems

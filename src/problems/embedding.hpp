@@ -1,0 +1,64 @@
+// Minor embedding of dense QUBO models into annealer topologies (paper
+// §I-A: "a 177-node complete graph can be embedded into a Pegasus graph;
+// hence D-Wave Advantage can be used to perform quantum annealing for
+// 177-spin Ising models with any graph topology").
+//
+// This module implements the classic *clique embedding* into Chimera C(m):
+// logical variable i = (c, k) with c = i/4, k = i%4 is represented by the
+// chain
+//
+//   vertical strip  : (y, c, 0, k) for y in [0, m)
+//   horizontal strip: (c, x, 1, k) for x in [0, m)
+//
+// joined by the internal coupler at cell (c, c).  Chains of two logical
+// variables i = (c,k), j = (c',k') always cross at cell (c', c) with an
+// internal coupler, so any K_{4m} fits into C(m) with chains of length 2m.
+//
+// embed_qubo lowers a logical model onto the physical graph: linear terms
+// are split across the chain, each quadratic term is placed on one physical
+// coupler between the two chains, and every chain edge receives the
+// penalty  S * (x_a + x_b - 2 x_a x_b)  which is 0 when the chain agrees
+// and +S per broken edge.  unembed() recovers logical values by majority
+// vote over each chain.
+#pragma once
+
+#include <vector>
+
+#include "problems/chimera.hpp"
+#include "qubo/qubo_model.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs::problems {
+
+struct Embedding {
+  /// chains[i] = physical qubits representing logical variable i.
+  std::vector<std::vector<VarIndex>> chains;
+  std::size_t physical_nodes = 0;
+
+  std::size_t logical_count() const noexcept { return chains.size(); }
+  std::size_t max_chain_length() const;
+};
+
+/// Clique embedding of `logical_vars` (<= 4m) variables into C(m).
+Embedding chimera_clique_embedding(const ChimeraGraph& g,
+                                   std::size_t logical_vars);
+
+/// Validates an embedding against a physical edge set: chains non-empty,
+/// disjoint, internally connected, and every logical pair (that needs a
+/// coupler in a complete graph) joined by at least one physical edge.
+/// Throws std::invalid_argument describing the first violation.
+void validate_clique_embedding(const ChimeraGraph& g, const Embedding& emb);
+
+/// Lowers `logical` onto the physical topology.  `chain_strength` 0 picks
+/// an automatic value: 1 + the largest total logical weight any variable
+/// participates in (so breaking a chain never pays).
+QuboModel embed_qubo(const QuboModel& logical, const ChimeraGraph& g,
+                     const Embedding& emb, Weight chain_strength = 0);
+
+/// Majority-vote decode of a physical solution back to logical variables.
+BitVector unembed(const BitVector& physical, const Embedding& emb);
+
+/// True when every chain is unanimous in `physical`.
+bool chains_intact(const BitVector& physical, const Embedding& emb);
+
+}  // namespace dabs::problems

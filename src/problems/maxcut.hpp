@@ -1,0 +1,65 @@
+// MaxCut -> QUBO reduction and benchmark instance generators (paper §II-A,
+// §VI-A).
+//
+// Reduction: each edge (u, v, w) contributes w * (2 x_u x_v - x_u - x_v),
+// which evaluates to -w when the edge is cut and 0 otherwise, so
+// E(X) = -cut(X) for every X and minimizing energy maximizes the cut.
+//
+// Instances: generators reproducing the published constructions of the
+// three benchmark graphs (K2000 and Gset G22/G39) by node/edge count and
+// weight distribution; the real files can be loaded via io/gset.hpp when
+// available.  See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+#include "qubo/types.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs::problems {
+
+struct WeightedEdge {
+  VarIndex u, v;
+  Weight w;
+};
+
+struct MaxCutInstance {
+  std::size_t n = 0;
+  std::vector<WeightedEdge> edges;
+  std::string name;
+
+  /// Total weight of edges crossing the partition (x_u != x_v).
+  Energy cut_value(const BitVector& partition) const;
+};
+
+/// Builds the QUBO model with E(X) = -cut(X).
+QuboModel maxcut_to_qubo(const MaxCutInstance& inst);
+
+/// Weight distribution for random instances.
+enum class EdgeWeights : std::uint8_t {
+  kPlusOne,     // all +1 (G22 style)
+  kPlusMinusOne // uniform ±1 (K2000 / G39 style)
+};
+
+/// Random graph with exactly `m` distinct edges over `n` nodes.
+MaxCutInstance make_random_maxcut(std::size_t n, std::size_t m,
+                                  EdgeWeights weights, std::uint64_t seed,
+                                  std::string name = "random");
+
+/// Complete graph with i.i.d. ±1 weights.
+MaxCutInstance make_complete_maxcut(std::size_t n, std::uint64_t seed,
+                                    std::string name = "complete");
+
+/// K2000 equivalent: 2000-node complete graph, ±1 weights [33].
+MaxCutInstance make_k2000(std::uint64_t seed = 2000);
+
+/// G22 equivalent: 2000 nodes, 19990 edges, +1 weights.
+MaxCutInstance make_g22_like(std::uint64_t seed = 22);
+
+/// G39 equivalent: 2000 nodes, 11778 edges, ±1 weights.
+MaxCutInstance make_g39_like(std::uint64_t seed = 39);
+
+}  // namespace dabs::problems

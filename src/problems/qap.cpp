@@ -1,0 +1,189 @@
+#include "problems/qap.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+#include "qubo/qubo_builder.hpp"
+#include "rng/xorshift.hpp"
+#include "util/assert.hpp"
+
+namespace dabs::problems {
+
+Energy QapInstance::cost(const std::vector<VarIndex>& g) const {
+  DABS_CHECK(g.size() == n, "assignment length mismatch");
+  Energy c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i2 = 0; i2 < n; ++i2) {
+      if (i == i2) continue;
+      c += Energy{l(i, i2)} * Energy{d(g[i], g[i2])};
+    }
+  }
+  return c;
+}
+
+Weight default_qap_penalty(const QapInstance& inst) {
+  // A facility's worst-case total interaction cost bounds how much energy
+  // one assignment bit can remove; the penalty must exceed it so breaking
+  // one-hot feasibility never pays.
+  const std::size_t n = inst.n;
+  int max_l = 0, max_d = 0;
+  for (const int v : inst.flow) max_l = std::max(max_l, std::abs(v));
+  for (const int v : inst.dist) max_d = std::max(max_d, std::abs(v));
+  const long long bound = 2LL * max_l * max_d * static_cast<long long>(n) + 1;
+  DABS_CHECK(bound <= std::numeric_limits<Weight>::max() / 4,
+             "instance magnitudes too large for an int32 penalty");
+  return static_cast<Weight>(bound);
+}
+
+QapQubo qap_to_qubo(const QapInstance& inst, Weight penalty) {
+  const std::size_t n = inst.n;
+  DABS_CHECK(n >= 2, "QAP needs at least two facilities");
+  if (penalty == 0) penalty = default_qap_penalty(inst);
+  DABS_CHECK(penalty > 0, "penalty must be positive");
+
+  const auto N = n * n;
+  QuboBuilder b(N);
+  auto var = [n](std::size_t i, std::size_t j) {
+    return static_cast<VarIndex>(i * n + j);
+  };
+
+  // Diagonal: -p per variable.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b.add_linear(var(i, j), static_cast<Weight>(-penalty));
+    }
+  }
+  // Same-row pairs (one facility, two locations): +p.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t j2 = j + 1; j2 < n; ++j2) {
+        b.add_quadratic(var(i, j), var(i, j2), penalty);
+      }
+    }
+  }
+  // i != i' pairs: +p when same column, symmetrized l*d cross terms else.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i2 = i + 1; i2 < n; ++i2) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t j2 = 0; j2 < n; ++j2) {
+          if (j == j2) {
+            b.add_quadratic(var(i, j), var(i2, j), penalty);
+          } else {
+            const long long w = static_cast<long long>(inst.l(i, i2)) *
+                                    inst.d(j, j2) +
+                                static_cast<long long>(inst.l(i2, i)) *
+                                    inst.d(j2, j);
+            if (w != 0) {
+              DABS_CHECK(std::abs(w) <= std::numeric_limits<Weight>::max() / 2,
+                         "flow*distance product overflows int32");
+              b.add_quadratic(var(i, j), var(i2, j2),
+                              static_cast<Weight>(w));
+            }
+          }
+        }
+      }
+    }
+  }
+  return {b.build(), penalty, n};
+}
+
+std::optional<std::vector<VarIndex>> decode_assignment(const BitVector& x,
+                                                       std::size_t n) {
+  DABS_CHECK(x.size() == n * n, "one-hot vector length mismatch");
+  std::vector<VarIndex> g(n, static_cast<VarIndex>(n));
+  std::vector<bool> location_used(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t ones = 0, loc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x.get(i * n + j)) {
+        ++ones;
+        loc = j;
+      }
+    }
+    if (ones != 1) return std::nullopt;          // row violated
+    if (location_used[loc]) return std::nullopt;  // column violated
+    location_used[loc] = true;
+    g[i] = static_cast<VarIndex>(loc);
+  }
+  return g;
+}
+
+BitVector encode_assignment(const std::vector<VarIndex>& g) {
+  const std::size_t n = g.size();
+  BitVector x(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DABS_CHECK(g[i] < n, "location index out of range");
+    x.set(i * n + g[i], true);
+  }
+  return x;
+}
+
+Energy qap_brute_force(const QapInstance& inst,
+                       std::vector<VarIndex>* best_g) {
+  DABS_CHECK(inst.n <= 10, "brute force limited to n <= 10");
+  std::vector<VarIndex> g(inst.n);
+  std::iota(g.begin(), g.end(), 0);
+  Energy best = kInfiniteEnergy;
+  do {
+    const Energy c = inst.cost(g);
+    if (c < best) {
+      best = c;
+      if (best_g) *best_g = g;
+    }
+  } while (std::next_permutation(g.begin(), g.end()));
+  return best;
+}
+
+QapInstance make_uniform_qap(std::size_t n, int max_value, std::uint64_t seed,
+                             std::string name) {
+  DABS_CHECK(n >= 2 && max_value >= 1, "invalid generator parameters");
+  Rng rng(seed);
+  QapInstance inst;
+  inst.n = n;
+  inst.name = std::move(name);
+  inst.flow.assign(n * n, 0);
+  inst.dist.assign(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      inst.flow[i * n + j] = 1 + static_cast<int>(rng.next_index(max_value));
+      inst.dist[i * n + j] = 1 + static_cast<int>(rng.next_index(max_value));
+    }
+  }
+  return inst;
+}
+
+QapInstance make_grid_qap(std::size_t rows, std::size_t cols, int max_flow,
+                          std::uint64_t seed, std::string name) {
+  DABS_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid too small");
+  DABS_CHECK(max_flow >= 1, "invalid max flow");
+  const std::size_t n = rows * cols;
+  Rng rng(seed);
+  QapInstance inst;
+  inst.n = n;
+  inst.name = std::move(name);
+  inst.flow.assign(n * n, 0);
+  inst.dist.assign(n * n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b2 = 0; b2 < n; ++b2) {
+      if (a == b2) continue;
+      const auto ra = a / cols, ca = a % cols;
+      const auto rb = b2 / cols, cb = b2 % cols;
+      inst.dist[a * n + b2] =
+          static_cast<int>((ra > rb ? ra - rb : rb - ra) +
+                           (ca > cb ? ca - cb : cb - ca));
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b2 = a + 1; b2 < n; ++b2) {
+      const int f = static_cast<int>(rng.next_index(max_flow + 1));
+      inst.flow[a * n + b2] = f;
+      inst.flow[b2 * n + a] = f;
+    }
+  }
+  return inst;
+}
+
+}  // namespace dabs::problems

@@ -1,0 +1,81 @@
+// Quadratic Assignment Problem -> QUBO reduction (paper §II-B) and
+// QAPLIB-family instance generators.
+//
+// One-hot encoding: N = n^2 variables x_<i,j> with <i,j> = i*n + j and
+// x_<i,j> = 1 iff facility i is placed at location j.  QUBO weights:
+//
+//   W_{<i,j>,<i',j'>} = l(i,i') d(j,j') + l(i',i) d(j',j)   i != i', j != j'
+//                     = -p                                   i == i', j == j'
+//                     = +p                                   same row or col
+//
+// (the cross term is symmetrized because the QAPLIB cost is the ordered
+// double sum C(g) = sum_{i != i'} l(i,i') d(g(i), g(i'))).  For a feasible
+// one-hot X:  E(X) = C(g_X) - n p ; every infeasible X has E(X) >= -(n-1)p
+// for a sufficiently large penalty p.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+#include "qubo/types.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs::problems {
+
+struct QapInstance {
+  std::size_t n = 0;
+  std::vector<int> flow;  // n*n row-major: flow[i*n + i'] = l(i, i')
+  std::vector<int> dist;  // n*n row-major: dist[j*n + j'] = d(j, j')
+  std::string name;
+
+  int l(std::size_t i, std::size_t i2) const { return flow[i * n + i2]; }
+  int d(std::size_t j, std::size_t j2) const { return dist[j * n + j2]; }
+
+  /// Ordered-double-sum assignment cost (QAPLIB convention):
+  /// C(g) = sum_{i != i'} l(i,i') * d(g(i), g(i')).
+  Energy cost(const std::vector<VarIndex>& g) const;
+};
+
+struct QapQubo {
+  QuboModel model;
+  Weight penalty;
+  std::size_t n;  // original QAP size (model has n^2 variables)
+
+  /// QUBO energy of an optimal/feasible assignment: cost - n * penalty.
+  Energy feasible_energy(Energy qap_cost) const {
+    return qap_cost - Energy{penalty} * Energy(n);
+  }
+};
+
+/// Builds the QUBO; penalty 0 selects an automatic safe value.
+QapQubo qap_to_qubo(const QapInstance& inst, Weight penalty = 0);
+
+/// Penalty heuristic: larger than any single-assignment cost contribution.
+Weight default_qap_penalty(const QapInstance& inst);
+
+/// Decodes a one-hot vector into an assignment; nullopt when infeasible
+/// (a row or column without exactly one 1).
+std::optional<std::vector<VarIndex>> decode_assignment(const BitVector& x,
+                                                       std::size_t n);
+
+/// Encodes an assignment g as the one-hot vector.
+BitVector encode_assignment(const std::vector<VarIndex>& g);
+
+/// Exact optimum by permutation enumeration (n <= 10).
+Energy qap_brute_force(const QapInstance& inst,
+                       std::vector<VarIndex>* best_g = nullptr);
+
+/// Taillard-style instance: i.i.d. uniform integer flows and distances in
+/// [1, max_value], zero diagonal, asymmetric.
+QapInstance make_uniform_qap(std::size_t n, int max_value, std::uint64_t seed,
+                             std::string name = "uniform");
+
+/// Nugent-style instance: locations on a rows x cols grid with Manhattan
+/// distances; random symmetric flows in [0, max_flow].
+QapInstance make_grid_qap(std::size_t rows, std::size_t cols, int max_flow,
+                          std::uint64_t seed, std::string name = "grid");
+
+}  // namespace dabs::problems

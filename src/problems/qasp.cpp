@@ -1,0 +1,58 @@
+#include "problems/qasp.hpp"
+
+#include "rng/xorshift.hpp"
+#include "util/assert.hpp"
+
+namespace dabs::problems {
+
+namespace {
+
+/// Uniform non-zero integer in [-bound, bound].
+Weight random_nonzero(Rng& rng, int bound) {
+  // 2*bound possible values: {-bound..-1, 1..bound}.
+  const auto v = static_cast<int>(rng.next_index(2 * bound));
+  return static_cast<Weight>(v < bound ? v - bound : v - bound + 1);
+}
+
+QaspInstance build(const WorkingGraph& graph, int resolution,
+                   std::uint64_t value_seed) {
+  DABS_CHECK(resolution >= 1, "resolution must be >= 1");
+  Rng rng(value_seed);
+  IsingModel ising(graph.node_count);
+  for (const auto& [a, b] : graph.edges) {
+    ising.add_coupling(a, b, random_nonzero(rng, resolution));
+  }
+  for (VarIndex i = 0; i < graph.node_count; ++i) {
+    ising.set_bias(i, random_nonzero(rng, 4 * resolution));
+  }
+  auto converted = ising_to_qubo(ising);
+  QaspInstance inst{std::move(ising), std::move(converted.model),
+                    converted.offset, resolution, graph.node_count,
+                    graph.edges.size()};
+  return inst;
+}
+
+}  // namespace
+
+QaspInstance make_qasp(const QaspParams& params) {
+  const PegasusGraph pegasus(params.pegasus_m);
+  DABS_CHECK(params.working_nodes <= pegasus.node_count(),
+             "working node target exceeds the ideal graph");
+  const WorkingGraph graph =
+      apply_faults(pegasus, params.working_nodes, params.graph_seed);
+  return build(graph, params.resolution, params.value_seed);
+}
+
+QaspInstance make_qasp_small(int resolution, std::size_t pegasus_m,
+                             std::uint64_t seed) {
+  QaspParams p;
+  p.resolution = resolution;
+  p.pegasus_m = pegasus_m;
+  p.graph_seed = seed;
+  p.value_seed = seed + 1;
+  const PegasusGraph pegasus(pegasus_m);
+  p.working_nodes = pegasus.node_count();  // no faults
+  return make_qasp(p);
+}
+
+}  // namespace dabs::problems

@@ -1,0 +1,80 @@
+#include "problems/tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/xorshift.hpp"
+#include "util/assert.hpp"
+
+namespace dabs::problems {
+
+Energy TspInstance::tour_length(const std::vector<VarIndex>& tour) const {
+  DABS_CHECK(tour.size() == n, "tour length mismatch");
+  Energy len = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    len += d(tour[i], tour[(i + 1) % n]);
+  }
+  return len;
+}
+
+QapInstance tsp_to_qap(const TspInstance& inst) {
+  DABS_CHECK(inst.n >= 3, "TSP needs at least three cities");
+  QapInstance qap;
+  qap.n = inst.n;
+  qap.name = inst.name + "-qap";
+  qap.flow.assign(inst.n * inst.n, 0);
+  qap.dist = inst.dist;
+  // Circular flow: facility i (tour position i) ships one unit to
+  // position i+1.  Ordered cost sum then telescopes into the tour length.
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    qap.flow[i * inst.n + (i + 1) % inst.n] = 1;
+  }
+  return qap;
+}
+
+TspInstance make_euclidean_tsp(std::size_t n, int grid, std::uint64_t seed,
+                               std::string name) {
+  DABS_CHECK(n >= 3 && grid >= 2, "invalid generator parameters");
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> pts(n);
+  for (auto& p : pts) {
+    p = {static_cast<int>(rng.next_index(grid)),
+         static_cast<int>(rng.next_index(grid))};
+  }
+  TspInstance inst;
+  inst.n = n;
+  inst.name = std::move(name);
+  inst.dist.assign(n * n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double dx = pts[a].first - pts[b].first;
+      const double dy = pts[a].second - pts[b].second;
+      inst.dist[a * n + b] =
+          static_cast<int>(std::lround(std::sqrt(dx * dx + dy * dy) * 10));
+    }
+  }
+  return inst;
+}
+
+Energy tsp_brute_force(const TspInstance& inst,
+                       std::vector<VarIndex>* best_tour) {
+  DABS_CHECK(inst.n <= 11, "brute force limited to n <= 11");
+  std::vector<VarIndex> rest(inst.n - 1);
+  std::iota(rest.begin(), rest.end(), 1);
+  Energy best = kInfiniteEnergy;
+  std::vector<VarIndex> tour(inst.n);
+  tour[0] = 0;
+  do {
+    std::copy(rest.begin(), rest.end(), tour.begin() + 1);
+    const Energy len = inst.tour_length(tour);
+    if (len < best) {
+      best = len;
+      if (best_tour) *best_tour = tour;
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return best;
+}
+
+}  // namespace dabs::problems

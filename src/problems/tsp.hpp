@@ -1,0 +1,43 @@
+// Traveling Salesperson -> QAP -> QUBO (paper §II-B: "the TSP can be solved
+// by a QAP algorithm by setting a circular logistic flow of the
+// facilities").
+//
+// Cities become QAP *locations*; tour positions become *facilities* with a
+// circular flow l(i, (i+1) mod n) = 1.  Then the QAP cost of assignment g
+// is exactly the length of the tour that visits city g(0), g(1), ...,
+// g(n-1) and returns to g(0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "problems/qap.hpp"
+#include "qubo/types.hpp"
+
+namespace dabs::problems {
+
+struct TspInstance {
+  std::size_t n = 0;
+  std::vector<int> dist;  // n*n row-major city distances
+  std::string name;
+
+  int d(std::size_t a, std::size_t b) const { return dist[n * a + b]; }
+
+  /// Length of the closed tour visiting tour[0] -> tour[1] -> ... -> tour[0].
+  Energy tour_length(const std::vector<VarIndex>& tour) const;
+};
+
+/// The circular-flow QAP whose assignments are tours.
+QapInstance tsp_to_qap(const TspInstance& inst);
+
+/// Random Euclidean instance: cities uniform on a `grid` x `grid` square,
+/// rounded Euclidean distances (symmetric).
+TspInstance make_euclidean_tsp(std::size_t n, int grid, std::uint64_t seed,
+                               std::string name = "euclid");
+
+/// Exact optimum by enumerating tours with city 0 fixed first (n <= 11).
+Energy tsp_brute_force(const TspInstance& inst,
+                       std::vector<VarIndex>* best_tour = nullptr);
+
+}  // namespace dabs::problems

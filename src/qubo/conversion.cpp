@@ -1,0 +1,39 @@
+#include "qubo/conversion.hpp"
+
+#include "qubo/qubo_builder.hpp"
+#include "util/assert.hpp"
+
+namespace dabs {
+
+IsingToQuboResult ising_to_qubo(const IsingModel& ising) {
+  QuboBuilder b(ising.size());
+  Energy offset = 0;
+  for (const IsingEdge& e : ising.edges()) {
+    b.add_quadratic(e.i, e.j, static_cast<Weight>(4 * e.coupling));
+    b.add_linear(e.i, static_cast<Weight>(-2 * e.coupling));
+    b.add_linear(e.j, static_cast<Weight>(-2 * e.coupling));
+    offset += e.coupling;
+  }
+  for (VarIndex i = 0; i < ising.size(); ++i) {
+    b.add_linear(i, static_cast<Weight>(2 * ising.bias(i)));
+    offset -= ising.bias(i);
+  }
+  return {b.build(), offset};
+}
+
+std::vector<int> to_spins(const BitVector& x) {
+  std::vector<int> s(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) s[i] = sigma(x.get(i));
+  return s;
+}
+
+BitVector to_binary(const std::vector<int>& spins) {
+  BitVector x(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    DABS_CHECK(spins[i] == -1 || spins[i] == 1, "spins must be -1 or +1");
+    x.set(i, spins[i] == 1);
+  }
+  return x;
+}
+
+}  // namespace dabs

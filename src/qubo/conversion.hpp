@@ -1,0 +1,34 @@
+// Ising <-> QUBO conversion (paper §I-A).
+//
+// With s = 2x - 1:
+//   J s_i s_j = 4J x_i x_j - 2J x_i - 2J x_j + J
+//   h s_i     = 2h x_i - h
+// so H(S) = E(X) + offset with offset = sum(J) - sum(h), i.e.
+// E(X) = H(S) - offset.  An optimal spin vector and the corresponding
+// binary vector therefore coincide, which is what the tests pin down.
+#pragma once
+
+#include <vector>
+
+#include "qubo/ising_model.hpp"
+#include "qubo/qubo_model.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct IsingToQuboResult {
+  QuboModel model;
+  /// H(S) = E(X) + offset for corresponding S and X.
+  Energy offset;
+};
+
+/// Builds the QUBO model equivalent to `ising` (same topology).
+IsingToQuboResult ising_to_qubo(const IsingModel& ising);
+
+/// Binary vector -> spin vector (x=0 -> s=-1, x=1 -> s=+1).
+std::vector<int> to_spins(const BitVector& x);
+
+/// Spin vector -> binary vector.
+BitVector to_binary(const std::vector<int>& spins);
+
+}  // namespace dabs

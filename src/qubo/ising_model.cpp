@@ -1,0 +1,33 @@
+#include "qubo/ising_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+void IsingModel::add_coupling(VarIndex i, VarIndex j, Weight j_ij) {
+  DABS_CHECK(i < size() && j < size(), "spin index out of range");
+  DABS_CHECK(i != j, "self-coupling is a bias; use set_bias");
+  edges_.push_back({i, j, j_ij});
+}
+
+void IsingModel::set_bias(VarIndex i, Weight h_i) {
+  DABS_CHECK(i < size(), "spin index out of range");
+  bias_[i] = h_i;
+}
+
+Energy IsingModel::hamiltonian(const std::vector<int>& spins) const {
+  DABS_CHECK(spins.size() == size(), "spin vector length mismatch");
+  for (const int s : spins) {
+    DABS_CHECK(s == -1 || s == 1, "spins must be -1 or +1");
+  }
+  Energy h = 0;
+  for (const IsingEdge& e : edges_) {
+    h += Energy{e.coupling} * spins[e.i] * spins[e.j];
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    h += Energy{bias_[i]} * spins[i];
+  }
+  return h;
+}
+
+}  // namespace dabs

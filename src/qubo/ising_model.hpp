@@ -1,0 +1,39 @@
+// Ising model H(S) = sum_{(i,j) in E} J_{i,j} s_i s_j + sum_i h_i s_i with
+// spins s_i in {-1, +1} (paper Eq. 1).  Kept as a simple edge list: the
+// solver always works on the equivalent QUBO model (see conversion.hpp);
+// the Ising form exists for problem generation (QASP) and verification.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qubo/types.hpp"
+
+namespace dabs {
+
+struct IsingEdge {
+  VarIndex i, j;
+  Weight coupling;  // J_{i,j}
+};
+
+class IsingModel {
+ public:
+  explicit IsingModel(std::size_t n) : bias_(n, 0) {}
+
+  std::size_t size() const noexcept { return bias_.size(); }
+
+  void add_coupling(VarIndex i, VarIndex j, Weight j_ij);
+  void set_bias(VarIndex i, Weight h_i);
+
+  Weight bias(VarIndex i) const { return bias_[i]; }
+  const std::vector<IsingEdge>& edges() const noexcept { return edges_; }
+
+  /// Direct O(n + |E|) Hamiltonian evaluation; spins[i] must be -1 or +1.
+  Energy hamiltonian(const std::vector<int>& spins) const;
+
+ private:
+  std::vector<Weight> bias_;
+  std::vector<IsingEdge> edges_;
+};
+
+}  // namespace dabs

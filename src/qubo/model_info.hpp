@@ -1,0 +1,33 @@
+// Model inspection / linting: structural statistics and difficulty
+// indicators used by the CLI front end (--describe) and by bench logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qubo/qubo_model.hpp"
+
+namespace dabs {
+
+struct ModelInfo {
+  std::size_t variables = 0;
+  std::size_t couplings = 0;
+  double density = 0.0;          // couplings / C(n,2)
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  Weight min_weight = 0;         // over couplings and diagonal, signed
+  Weight max_weight = 0;
+  std::size_t isolated_variables = 0;  // degree 0 and zero diagonal
+  std::size_t components = 0;          // connected components
+  /// Largest |E| reachable in magnitude: sum of |w| over all terms.
+  Energy energy_scale = 0;
+};
+
+/// Computes the statistics in one pass plus a BFS for components.
+ModelInfo analyze_model(const QuboModel& model);
+
+/// Multi-line human-readable report.
+std::string describe_model(const ModelInfo& info);
+
+}  // namespace dabs

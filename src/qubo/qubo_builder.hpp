@@ -1,0 +1,47 @@
+// Mutable accumulator for QUBO models.  Problem reductions add linear and
+// quadratic terms in any order (duplicates accumulate); build() validates,
+// coalesces, and freezes into the CSR QuboModel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+#include "qubo/types.hpp"
+
+namespace dabs {
+
+class QuboBuilder {
+ public:
+  explicit QuboBuilder(std::size_t n);
+
+  std::size_t size() const noexcept { return diag_.size(); }
+
+  /// Adds w to the linear coefficient W_{i,i}.  Accumulation happens in
+  /// 64-bit; overflow of the final int32 coefficient is rejected at
+  /// build() time.
+  QuboBuilder& add_linear(VarIndex i, Weight w);
+
+  /// Adds w to the quadratic coefficient W_{i,j} (i != j; order irrelevant).
+  QuboBuilder& add_quadratic(VarIndex i, VarIndex j, Weight w);
+
+  /// Number of raw (non-coalesced) quadratic terms added so far.
+  std::size_t term_count() const noexcept { return entries_.size(); }
+
+  /// Coalesces duplicates, drops zero couplings, and produces the model.
+  /// Throws std::invalid_argument when any accumulated coefficient
+  /// overflows the int32 weight range.  The builder is left empty
+  /// afterwards.
+  QuboModel build();
+
+ private:
+  struct Entry {
+    VarIndex i, j;  // normalized i < j
+    Energy w;       // 64-bit accumulation
+  };
+
+  std::vector<Energy> diag_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,84 @@
+#include "qubo/qubo_model.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+Weight QuboModel::weight(VarIndex i, VarIndex j) const {
+  DABS_CHECK(i < size() && j < size(), "variable index out of range");
+  if (i == j) return diag_[i];
+  const auto nbrs = neighbors(i);
+  const auto w = weights(i);
+  for (std::size_t t = 0; t < nbrs.size(); ++t) {
+    if (nbrs[t] == j) return w[t];
+  }
+  return 0;
+}
+
+Energy QuboModel::energy(const BitVector& x) const {
+  DABS_CHECK(x.size() == size(), "solution length mismatch");
+  Energy e = 0;
+  const auto n = static_cast<VarIndex>(size());
+#ifdef DABS_HAVE_OPENMP
+#pragma omp parallel for reduction(+ : e) schedule(static)
+#endif
+  for (VarIndex i = 0; i < n; ++i) {
+    if (!x.get(i)) continue;
+    Energy row = diag_[i];
+    const auto nbrs = neighbors(i);
+    const auto w = weights(i);
+    for (std::size_t t = 0; t < nbrs.size(); ++t) {
+      // Count each edge once: only accumulate (i, j>i) pairs.
+      if (nbrs[t] > i && x.get(nbrs[t])) row += w[t];
+    }
+    e += row;
+  }
+  return e;
+}
+
+Energy QuboModel::delta(const BitVector& x, VarIndex k) const {
+  DABS_CHECK(x.size() == size(), "solution length mismatch");
+  DABS_CHECK(k < size(), "variable index out of range");
+  // Eq. 3 folded: Delta_k(X) = -sigma(x_k) * (sum_{j != k} W_{j,k} x_j + W_{k,k}).
+  Energy s = 0;
+  const auto nbrs = neighbors(k);
+  const auto w = weights(k);
+  for (std::size_t t = 0; t < nbrs.size(); ++t) {
+    if (x.get(nbrs[t])) s += w[t];
+  }
+  return -sigma(x.get(k)) * (s + Energy{diag_[k]});
+}
+
+void QuboModel::delta_all(const BitVector& x, std::vector<Energy>& out) const {
+  DABS_CHECK(x.size() == size(), "solution length mismatch");
+  const auto n = static_cast<VarIndex>(size());
+  out.resize(n);
+#ifdef DABS_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (VarIndex k = 0; k < n; ++k) {
+    out[k] = delta(x, k);
+  }
+}
+
+Energy QuboModel::flip_bound(VarIndex i) const {
+  Energy b = std::abs(Energy{diag_[i]});
+  for (const Weight w : weights(i)) b += std::abs(Energy{w});
+  return b;
+}
+
+std::string QuboModel::describe() const {
+  std::ostringstream os;
+  const std::size_t n = size();
+  const std::size_t m = edge_count();
+  os << "QUBO n=" << n << " edges=" << m;
+  if (n >= 2) {
+    const double density = double(m) / (double(n) * double(n - 1) / 2.0);
+    os << (density > 0.5 ? " dense" : " sparse");
+  }
+  return os.str();
+}
+
+}  // namespace dabs

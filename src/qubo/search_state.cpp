@@ -1,0 +1,87 @@
+#include "qubo/search_state.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+SearchState::SearchState(const QuboModel& model)
+    : model_(&model), x_(model.size()), delta_(model.size()), best_(model.size()) {
+  reset();
+}
+
+void SearchState::reset() {
+  x_.clear();
+  energy_ = 0;
+  const auto n = static_cast<VarIndex>(size());
+  for (VarIndex k = 0; k < n; ++k) delta_[k] = model_->diag(k);
+  flips_ = 0;
+  reset_best();
+}
+
+void SearchState::reset_to(const BitVector& x) {
+  DABS_CHECK(x.size() == size(), "solution length mismatch");
+  x_ = x;
+  energy_ = model_->energy(x_);
+  model_->delta_all(x_, delta_);
+  flips_ = 0;
+  reset_best();
+}
+
+void SearchState::reset_best() {
+  best_ = x_;
+  best_energy_ = energy_;
+}
+
+void SearchState::maybe_record_visited() {
+  if (energy_ < best_energy_) {
+    best_ = x_;
+    best_energy_ = energy_;
+  }
+}
+
+void SearchState::flip(VarIndex i) {
+  DABS_ASSERT(i < size());
+  const int si = sigma(x_.get(i));  // sigma of the *old* value of bit i
+  const auto nbrs = model_->neighbors(i);
+  const auto w = model_->weights(i);
+  for (std::size_t t = 0; t < nbrs.size(); ++t) {
+    const VarIndex k = nbrs[t];
+    // Eq. 4: Delta_k(f_i(X)) = Delta_k(X) + W_{i,k} sigma(x_i) sigma(x_k).
+    delta_[k] += Energy{w[t]} * si * sigma(x_.get(k));
+  }
+  energy_ += delta_[i];
+  delta_[i] = -delta_[i];  // Eq. 5
+  x_.flip(i);
+  ++flips_;
+  maybe_record_visited();
+}
+
+ScanResult SearchState::scan() {
+  const auto n = static_cast<VarIndex>(size());
+  DABS_ASSERT(n > 0);
+  Energy mn = delta_[0], mx = delta_[0];
+  VarIndex arg = 0;
+  for (VarIndex k = 1; k < n; ++k) {
+    const Energy d = delta_[k];
+    if (d < mn) {
+      mn = d;
+      arg = k;
+    }
+    if (d > mx) mx = d;
+  }
+  if (energy_ + mn < best_energy_) {
+    best_ = x_;
+    best_.flip(arg);
+    best_energy_ = energy_ + mn;
+  }
+  return {mn, mx, arg};
+}
+
+bool SearchState::is_local_minimum() const {
+  for (const Energy d : delta_) {
+    if (d < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dabs

@@ -1,0 +1,86 @@
+// Incremental search state (paper §III-A).
+//
+// Maintains, for a current solution X:
+//   - E(X)                       updated in O(1) per flip,
+//   - Delta_k(X) for every k     updated in O(deg(i)) per flip of bit i
+//                                via Eq. (4) (neighbors) and Eq. (5) (i itself),
+//   - BEST / E(BEST)             the best 1-bit neighbor f_j(X) seen by any
+//                                Step-1 scan (plus every visited X), which is
+//                                what a batch search ultimately reports.
+//
+// The scan() helper is the CPU equivalent of the paper's GPU Step 1: one
+// pass over all Delta_k that yields min/argmin/max and opportunistically
+// improves BEST.  Search algorithms fuse their bit-selection pass with this
+// scan wherever possible so an iteration costs a single O(n) sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+#include "qubo/types.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct ScanResult {
+  Energy min_delta;
+  Energy max_delta;
+  VarIndex argmin;
+};
+
+class SearchState {
+ public:
+  /// Binds to a model; starts at the zero vector (E=0, Delta_k = W_{k,k}).
+  explicit SearchState(const QuboModel& model);
+
+  const QuboModel& model() const noexcept { return *model_; }
+  std::size_t size() const noexcept { return delta_.size(); }
+
+  /// Resets to the zero vector in O(n) without touching the matrix
+  /// (the paper's batch-search starting point).
+  void reset();
+
+  /// Resets to an arbitrary vector; O(n + nnz) full recompute.
+  void reset_to(const BitVector& x);
+
+  const BitVector& solution() const noexcept { return x_; }
+  Energy energy() const noexcept { return energy_; }
+  Energy delta(VarIndex k) const { return delta_[k]; }
+  std::span<const Energy> deltas() const noexcept { return delta_; }
+
+  /// Flips bit i: X <- f_i(X), updating E and every Delta_k incrementally.
+  /// Also folds the *visited* X into BEST (an O(1) check).
+  void flip(VarIndex i);
+
+  /// Total flips since construction or the last reset.
+  std::uint64_t flip_count() const noexcept { return flips_; }
+
+  /// Step 1: one pass over Delta computing min/argmin/max and updating
+  /// BEST with the best 1-bit neighbor if it improves.
+  ScanResult scan();
+
+  /// BEST bookkeeping.
+  const BitVector& best() const noexcept { return best_; }
+  Energy best_energy() const noexcept { return best_energy_; }
+  /// Re-anchors BEST at the current X (start of a fresh batch search).
+  void reset_best();
+
+  /// True when every Delta_k >= 0, i.e. X is a 1-flip local minimum.
+  bool is_local_minimum() const;
+
+ private:
+  void maybe_record_visited();
+
+  const QuboModel* model_;
+  BitVector x_;
+  Energy energy_ = 0;
+  std::vector<Energy> delta_;
+  std::uint64_t flips_ = 0;
+
+  BitVector best_;
+  Energy best_energy_ = 0;
+};
+
+}  // namespace dabs

@@ -1,0 +1,48 @@
+// Model transformations: variable fixing and sub-QUBO extraction.
+//
+// Sub-QUBO extraction is the substrate of the hybrid method the paper
+// compares against on QAP (Atobe, Tawada, Togawa [37]): choose a subset S
+// of variables, clamp the rest at their current values, and solve the
+// induced |S|-variable QUBO exactly.  The induced model satisfies
+//
+//   E_full(X with S-bits replaced by Y) = E_sub(Y) + offset
+//
+// for every assignment Y of the subset, so improving the sub-problem
+// strictly improves the full solution.
+#pragma once
+
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct FixedModel {
+  QuboModel model;     // over the remaining variables, in `mapping` order
+  Energy offset;       // E_full = E_reduced + offset (for the fixed bits)
+  std::vector<VarIndex> mapping;  // reduced index -> original index
+};
+
+/// Fixes variable `i` to `value` and eliminates it: the coupling row folds
+/// into neighbors' linear terms (when value = 1) and the diagonal into the
+/// offset.
+FixedModel fix_variable(const QuboModel& model, VarIndex i, bool value);
+
+struct SubQubo {
+  QuboModel model;                // over `subset` variables, subset order
+  Energy offset;                  // E_full(X|Y) = E_sub(Y) + offset
+  std::vector<VarIndex> subset;   // sub index -> original index
+};
+
+/// Builds the sub-QUBO over `subset` with all other variables clamped at
+/// their values in `x`.  `subset` must contain distinct, valid indices.
+SubQubo extract_subqubo(const QuboModel& model, const BitVector& x,
+                        const std::vector<VarIndex>& subset);
+
+/// Writes the subset assignment `y` (indexed like `sub.subset`) back into
+/// a copy of `x`.
+BitVector apply_subsolution(const BitVector& x, const SubQubo& sub,
+                            const BitVector& y);
+
+}  // namespace dabs

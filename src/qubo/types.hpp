@@ -1,0 +1,25 @@
+// Shared scalar types for QUBO/Ising arithmetic.
+//
+// Weights are 32-bit integers (every benchmark in the paper uses integral
+// coefficients: ±1 MaxCut weights, flow x distance QAP products, resolution-r
+// Ising values scaled by 4).  Energies are 64-bit to keep sums of up to ~10^7
+// weighted terms exact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dabs {
+
+using Weight = std::int32_t;
+using Energy = std::int64_t;
+using VarIndex = std::uint32_t;
+
+/// Sentinel energy for "no solution yet" pool slots (the paper initializes
+/// pools with random vectors at +infinity energy).
+inline constexpr Energy kInfiniteEnergy = std::numeric_limits<Energy>::max();
+
+/// sigma(x) = 2x - 1 maps binary 0/1 to spin -1/+1 (paper §III).
+inline constexpr int sigma(bool x) noexcept { return x ? 1 : -1; }
+
+}  // namespace dabs

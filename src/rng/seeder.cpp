@@ -1,0 +1,15 @@
+#include "rng/seeder.hpp"
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+std::size_t cube_weighted_rank(Rng& rng, std::size_t m) {
+  DABS_CHECK(m > 0, "cube_weighted_rank requires a non-empty pool");
+  const double r = rng.next_unit();
+  auto rank = static_cast<std::size_t>(r * r * r * double(m));
+  // Guard against floating rounding at r -> 1.
+  return rank < m ? rank : m - 1;
+}
+
+}  // namespace dabs

@@ -1,0 +1,41 @@
+// Host-side seed fan-out (paper §V): the host generates random seeds with
+// the Mersenne Twister and hands one 64-bit seed to every device thread.
+// MersenneSeeder reproduces that arrangement; a master seed makes an entire
+// multi-device run reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rng/xorshift.hpp"
+
+namespace dabs {
+
+class MersenneSeeder {
+ public:
+  explicit MersenneSeeder(std::uint64_t master_seed) : mt_(master_seed) {}
+
+  /// Next 64-bit device seed.
+  std::uint64_t next_seed() { return mt_(); }
+
+  /// A ready-to-use device generator.
+  Rng next_rng() { return Rng(next_seed()); }
+
+  /// `count` seeds at once (e.g. one per CUDA-block-equivalent executor).
+  std::vector<std::uint64_t> seeds(std::size_t count) {
+    std::vector<std::uint64_t> out(count);
+    for (auto& s : out) s = next_seed();
+    return out;
+  }
+
+ private:
+  std::mt19937_64 mt_;
+};
+
+/// Cube-weighted pool rank from the paper (§IV-A): draw r uniform in [0,1)
+/// and return floor(r^3 * m), which picks low (better) ranks with higher
+/// probability; rank 0 is chosen with probability m^{-1/3}.
+std::size_t cube_weighted_rank(Rng& rng, std::size_t m);
+
+}  // namespace dabs

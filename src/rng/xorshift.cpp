@@ -1,0 +1,7 @@
+#include "rng/xorshift.hpp"
+
+// Header-only implementation; this translation unit exists so the module has
+// a home in the library and to catch ODR/type errors early in the build.
+namespace dabs {
+static_assert(Xorshift64Star::min() < Xorshift64Star::max());
+}  // namespace dabs

@@ -1,0 +1,68 @@
+// Per-thread random number generation as described in the paper (§V):
+// the host seeds every device thread with a 64-bit value produced by a
+// Mersenne Twister, and each device thread then runs Xorshift to draw
+// numbers cheaply.
+//
+// Xorshift64Star satisfies the C++ UniformRandomBitGenerator concept so it
+// can also feed <random> distributions where convenient, but the search
+// kernels use the branch-light helpers below (next_index, next_unit, ...)
+// to avoid distribution overhead in the flip loop.
+#pragma once
+
+#include <cstdint>
+
+namespace dabs {
+
+class Xorshift64Star {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; a zero seed is remapped to a fixed odd constant
+  /// because the all-zero state is a fixed point of the xorshift map.
+  explicit Xorshift64Star(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) {
+    state_ = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  /// Uses the 128-bit multiply trick (Lemire) — no modulo in the hot loop.
+  std::uint64_t next_index(std::uint64_t bound) noexcept {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() noexcept {
+    return double((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bernoulli(double p) noexcept { return next_unit() < p; }
+
+  /// Uniform random bit.
+  bool next_bit() noexcept { return ((*this)() >> 63) & 1u; }
+
+  std::uint64_t state() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Default generator type used across the library.
+using Rng = Xorshift64Star;
+
+}  // namespace dabs

@@ -1,0 +1,60 @@
+#include "search/cyclicmin.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dabs {
+
+void CyclicMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
+                          std::uint64_t iterations) {
+  const auto n = state.size();
+  const std::uint64_t T = iterations;
+
+  if (bit_permuted_) {
+    // Fresh Fisher-Yates shuffle of the cyclic order per run (ABS [16]).
+    if (perm_.size() != n) {
+      perm_.resize(n);
+      std::iota(perm_.begin(), perm_.end(), 0);
+    }
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(perm_[i], perm_[rng.next_index(i + 1)]);
+    }
+  }
+
+  for (std::uint64_t t = 1; t <= T; ++t) {
+    state.scan();  // Step 1: best update over all 1-bit neighbors
+
+    const double frac = double(t) / double(T);
+    const auto width = std::clamp<std::size_t>(
+        static_cast<std::size_t>(frac * frac * frac * double(n)),
+        std::min<std::size_t>(min_window_, n), n);
+
+    // Minimum Delta inside the cyclic window [pos_, pos_ + width).
+    VarIndex pick = static_cast<VarIndex>(n);
+    VarIndex pick_any = static_cast<VarIndex>(n);  // ignoring tabu
+    Energy best_d = std::numeric_limits<Energy>::max();
+    Energy best_any = std::numeric_limits<Energy>::max();
+    const std::uint64_t now = state.flip_count();
+    for (std::size_t o = 0; o < width; ++o) {
+      const std::size_t slot = (pos_ + o) % n;
+      const auto k =
+          bit_permuted_ ? perm_[slot] : static_cast<VarIndex>(slot);
+      const Energy d = state.delta(k);
+      if (d < best_any) {
+        best_any = d;
+        pick_any = k;
+      }
+      if ((!tabu || tabu->allowed(k, now)) && d < best_d) {
+        best_d = d;
+        pick = k;
+      }
+    }
+    if (pick == n) pick = pick_any;  // whole window tabu: flip anyway
+    if (tabu) tabu->record(pick, now + 1);
+    state.flip(pick);
+    pos_ = (pos_ + width) % n;
+  }
+}
+
+}  // namespace dabs

@@ -1,0 +1,16 @@
+#include "search/greedy.hpp"
+
+namespace dabs {
+
+std::uint64_t greedy_descent(SearchState& state, std::uint64_t max_flips) {
+  std::uint64_t flips = 0;
+  while (flips < max_flips) {
+    const ScanResult s = state.scan();
+    if (s.min_delta >= 0) break;  // local minimum reached
+    state.flip(s.argmin);
+    ++flips;
+  }
+  return flips;
+}
+
+}  // namespace dabs

@@ -1,0 +1,19 @@
+// Greedy search (paper §III-A-1): repeatedly flip the bit with minimum
+// Delta while that minimum is negative; terminates at a 1-flip local
+// minimum.  Not a "main" algorithm — the batch search interleaves it
+// between main-search segments.
+#pragma once
+
+#include <cstdint>
+
+#include "qubo/search_state.hpp"
+
+namespace dabs {
+
+/// Runs greedy descent to a local minimum (or until `max_flips`).
+/// Returns the number of flips performed.
+std::uint64_t greedy_descent(
+    SearchState& state,
+    std::uint64_t max_flips = ~std::uint64_t{0});
+
+}  // namespace dabs

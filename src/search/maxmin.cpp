@@ -1,0 +1,48 @@
+#include "search/maxmin.hpp"
+
+namespace dabs {
+
+namespace {
+
+/// Reservoir-samples one index with Delta <= d.  When `tabu` is non-null,
+/// tabu bits are skipped; returns size() if every qualifying bit was tabu.
+VarIndex sample_below(const SearchState& state, double d, Rng& rng,
+                      const TabuList* tabu, std::uint64_t now) {
+  const auto n = static_cast<VarIndex>(state.size());
+  VarIndex pick = n;
+  std::uint64_t seen = 0;
+  for (VarIndex k = 0; k < n; ++k) {
+    if (double(state.delta(k)) > d) continue;
+    if (tabu && !tabu->allowed(k, now)) continue;
+    ++seen;
+    if (rng.next_index(seen) == 0) pick = k;
+  }
+  return pick;
+}
+
+}  // namespace
+
+void MaxMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
+                       std::uint64_t iterations) {
+  const std::uint64_t T = iterations;
+  for (std::uint64_t t = 1; t <= T; ++t) {
+    const ScanResult s = state.scan();  // Step 1 (best update) + min/max
+    const double u = double(T - t) / double(T);
+    const double u3 = u * u * u;
+    const double upper =
+        (1.0 - u3) * double(s.min_delta) + u3 * double(s.max_delta);
+    const double d =
+        double(s.min_delta) + rng.next_unit() * (upper - double(s.min_delta));
+
+    VarIndex pick = sample_below(state, d, rng, tabu, state.flip_count());
+    if (pick == state.size()) {
+      // Every candidate was tabu; the paper's rule must still flip one bit,
+      // so retry ignoring the tabu list (argmin always qualifies).
+      pick = sample_below(state, d, rng, nullptr, state.flip_count());
+    }
+    if (tabu) tabu->record(pick, state.flip_count() + 1);
+    state.flip(pick);
+  }
+}
+
+}  // namespace dabs

@@ -1,0 +1,22 @@
+// MaxMin search (paper §III-A-3), an iteration-dependent algorithm with a
+// simulated-annealing-like threshold schedule:
+//
+//   D(t) = (1 - u^3) * minDelta + u^3 * maxDelta,   u = (T - t) / T
+//
+// Each iteration draws a threshold d uniformly from [minDelta, D(t)] and
+// flips a bit chosen uniformly at random among { i : Delta_i <= d } (tabu
+// bits excluded while possible).  Early iterations tolerate large uphill
+// moves; late iterations become nearly greedy.
+#pragma once
+
+#include "search/search_algorithm.hpp"
+
+namespace dabs {
+
+class MaxMinSearch final : public SearchAlgorithm {
+ public:
+  void run(SearchState& state, Rng& rng, TabuList* tabu,
+           std::uint64_t iterations) override;
+};
+
+}  // namespace dabs

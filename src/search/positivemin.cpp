@@ -1,0 +1,39 @@
+#include "search/positivemin.hpp"
+
+#include <limits>
+
+namespace dabs {
+
+void PositiveMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
+                            std::uint64_t iterations) {
+  const auto n = static_cast<VarIndex>(state.size());
+  for (std::uint64_t t = 1; t <= iterations; ++t) {
+    state.scan();  // Step 1
+
+    // posmin(Delta) = smallest strictly positive Delta; when no Delta is
+    // positive every bit qualifies as a candidate.
+    Energy posmin = std::numeric_limits<Energy>::max();
+    for (VarIndex k = 0; k < n; ++k) {
+      const Energy d = state.delta(k);
+      if (d > 0 && d < posmin) posmin = d;
+    }
+
+    const std::uint64_t now = state.flip_count();
+    VarIndex pick = n;
+    VarIndex pick_any = n;
+    std::uint64_t seen = 0, seen_any = 0;
+    for (VarIndex k = 0; k < n; ++k) {
+      if (state.delta(k) > posmin) continue;
+      ++seen_any;
+      if (rng.next_index(seen_any) == 0) pick_any = k;
+      if (tabu && !tabu->allowed(k, now)) continue;
+      ++seen;
+      if (rng.next_index(seen) == 0) pick = k;
+    }
+    if (pick == n) pick = pick_any;  // all candidates tabu
+    if (tabu) tabu->record(pick, now + 1);
+    state.flip(pick);
+  }
+}
+
+}  // namespace dabs

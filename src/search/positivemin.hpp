@@ -1,0 +1,19 @@
+// PositiveMin search (paper §III-A-6, after the FPGA solver of Kagawa et
+// al.): let posmin = min{ Delta_i : Delta_i > 0 }.  Candidates are all bits
+// with Delta_i <= posmin — i.e. every improving/neutral bit plus the
+// *cheapest uphill* bits — and one candidate is flipped uniformly at
+// random.  Near a local minimum the candidate set shrinks to the cheap
+// uphill bits, which is exactly the hill-climbing step needed to leave it.
+#pragma once
+
+#include "search/search_algorithm.hpp"
+
+namespace dabs {
+
+class PositiveMinSearch final : public SearchAlgorithm {
+ public:
+  void run(SearchState& state, Rng& rng, TabuList* tabu,
+           std::uint64_t iterations) override;
+};
+
+}  // namespace dabs

@@ -1,0 +1,41 @@
+#include "search/randommin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dabs {
+
+void RandomMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
+                          std::uint64_t iterations) {
+  const auto n = static_cast<VarIndex>(state.size());
+  const std::uint64_t T = iterations;
+  for (std::uint64_t t = 1; t <= T; ++t) {
+    const ScanResult s = state.scan();  // Step 1
+
+    const double frac = double(t) / double(T);
+    const double p =
+        std::max(frac * frac * frac, double(min_candidates_) / double(n));
+
+    VarIndex pick = n;
+    Energy best_d = std::numeric_limits<Energy>::max();
+    const std::uint64_t now = state.flip_count();
+    for (VarIndex k = 0; k < n; ++k) {
+      if (!rng.next_bernoulli(p)) continue;
+      if (tabu && !tabu->allowed(k, now)) continue;
+      const Energy d = state.delta(k);
+      if (d < best_d) {
+        best_d = d;
+        pick = k;
+      }
+    }
+    if (pick == n) {
+      // No candidate drawn (or all tabu): fall back to the global argmin so
+      // the iteration still flips exactly one bit.
+      pick = s.argmin;
+    }
+    if (tabu) tabu->record(pick, now + 1);
+    state.flip(pick);
+  }
+}
+
+}  // namespace dabs

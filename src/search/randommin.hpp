@@ -1,0 +1,28 @@
+// RandomMin search (paper §III-A-5): each iteration samples every bit as a
+// candidate with probability
+//
+//   p(t) = max( (t/T)^3, c/n ),   c = 32 by default
+//
+// and flips the candidate with minimum Delta.  Early iterations look at few
+// bits (so poor bits get flipped, escaping minima); late iterations look at
+// nearly all bits, approaching greedy behaviour.
+#pragma once
+
+#include "search/search_algorithm.hpp"
+
+namespace dabs {
+
+class RandomMinSearch final : public SearchAlgorithm {
+ public:
+  /// `min_candidates` is the constant c in p(t) >= c/n.
+  explicit RandomMinSearch(std::uint32_t min_candidates = 32)
+      : min_candidates_(min_candidates) {}
+
+  void run(SearchState& state, Rng& rng, TabuList* tabu,
+           std::uint64_t iterations) override;
+
+ private:
+  std::uint32_t min_candidates_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,45 @@
+#include "search/registry.hpp"
+
+#include "search/cyclicmin.hpp"
+#include "search/maxmin.hpp"
+#include "search/positivemin.hpp"
+#include "search/randommin.hpp"
+#include "search/two_neighbor.hpp"
+#include "util/assert.hpp"
+
+namespace dabs {
+
+std::string_view to_string(MainSearch s) {
+  switch (s) {
+    case MainSearch::kMaxMin:
+      return "MaxMin";
+    case MainSearch::kPositiveMin:
+      return "PositiveMin";
+    case MainSearch::kCyclicMin:
+      return "CyclicMin";
+    case MainSearch::kRandomMin:
+      return "RandomMin";
+    case MainSearch::kTwoNeighbor:
+      return "TwoNeighbor";
+  }
+  return "?";
+}
+
+std::unique_ptr<SearchAlgorithm> make_search_algorithm(MainSearch s) {
+  switch (s) {
+    case MainSearch::kMaxMin:
+      return std::make_unique<MaxMinSearch>();
+    case MainSearch::kPositiveMin:
+      return std::make_unique<PositiveMinSearch>();
+    case MainSearch::kCyclicMin:
+      return std::make_unique<CyclicMinSearch>();
+    case MainSearch::kRandomMin:
+      return std::make_unique<RandomMinSearch>();
+    case MainSearch::kTwoNeighbor:
+      return std::make_unique<TwoNeighborSearch>();
+  }
+  DABS_CHECK(false, "unknown MainSearch id");
+  return nullptr;
+}
+
+}  // namespace dabs

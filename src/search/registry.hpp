@@ -1,0 +1,35 @@
+// Identifiers and factory for the five *main* search algorithms the DABS
+// host can dispatch to a device block (paper §III), plus names for logging
+// and the frequency tables (Tables V/VI).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "search/search_algorithm.hpp"
+
+namespace dabs {
+
+/// The five main search algorithms.  Values index the frequency tables.
+enum class MainSearch : std::uint8_t {
+  kMaxMin = 0,
+  kPositiveMin,
+  kCyclicMin,
+  kRandomMin,
+  kTwoNeighbor,
+};
+
+inline constexpr std::size_t kMainSearchCount = 5;
+
+inline constexpr std::array<MainSearch, kMainSearchCount> kAllMainSearches = {
+    MainSearch::kMaxMin, MainSearch::kPositiveMin, MainSearch::kCyclicMin,
+    MainSearch::kRandomMin, MainSearch::kTwoNeighbor};
+
+std::string_view to_string(MainSearch s);
+
+/// Creates a fresh instance of the given algorithm (stateless between runs
+/// except CyclicMin's sliding window position, hence one per device block).
+std::unique_ptr<SearchAlgorithm> make_search_algorithm(MainSearch s);
+
+}  // namespace dabs

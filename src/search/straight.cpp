@@ -1,0 +1,33 @@
+#include "search/straight.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+std::uint64_t straight_walk(SearchState& state, const BitVector& target) {
+  DABS_CHECK(target.size() == state.size(), "target length mismatch");
+  std::uint64_t flips = 0;
+  const auto n = static_cast<VarIndex>(state.size());
+  for (;;) {
+    state.scan();  // Step 1: BEST update over all 1-bit neighbors
+
+    // Step 2: minimum-Delta bit among those differing from the target.
+    Energy diff_min = std::numeric_limits<Energy>::max();
+    VarIndex diff_arg = n;  // n == "no differing bit left"
+    const auto& x = state.solution();
+    for (VarIndex k = 0; k < n; ++k) {
+      if (x.get(k) != target.get(k) && state.delta(k) < diff_min) {
+        diff_min = state.delta(k);
+        diff_arg = k;
+      }
+    }
+    if (diff_arg == n) break;  // X == target
+    state.flip(diff_arg);
+    ++flips;
+  }
+  return flips;
+}
+
+}  // namespace dabs

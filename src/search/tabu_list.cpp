@@ -1,0 +1,19 @@
+#include "search/tabu_list.hpp"
+
+#include <limits>
+
+namespace dabs {
+
+namespace {
+// "Never flipped": far enough in the past that any clock value is allowed.
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::min() / 2;
+}  // namespace
+
+TabuList::TabuList(std::size_t n, std::uint32_t tenure)
+    : tenure_(tenure), last_(tenure == 0 ? 0 : n, kNever) {}
+
+void TabuList::clear() {
+  for (auto& t : last_) t = kNever;
+}
+
+}  // namespace dabs

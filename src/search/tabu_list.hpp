@@ -1,0 +1,41 @@
+// Tabu bookkeeping (paper §III-A-8): a bit flipped at iteration t may not be
+// flipped again during the next `tenure` iterations.  The iteration clock is
+// the SearchState flip counter, which increases monotonically across the
+// batch searches a device block executes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/types.hpp"
+
+namespace dabs {
+
+class TabuList {
+ public:
+  /// tenure == 0 disables the tabu rule (allowed() is always true).
+  TabuList(std::size_t n, std::uint32_t tenure);
+
+  std::uint32_t tenure() const noexcept { return tenure_; }
+
+  /// Marks bit i as flipped at clock value `now`.
+  void record(VarIndex i, std::uint64_t now) {
+    if (tenure_ != 0) last_[i] = static_cast<std::int64_t>(now);
+  }
+
+  /// True when bit i may be flipped at clock value `now`.
+  bool allowed(VarIndex i, std::uint64_t now) const {
+    return tenure_ == 0 ||
+           static_cast<std::int64_t>(now) - last_[i] >
+               static_cast<std::int64_t>(tenure_);
+  }
+
+  /// Forgets all history.
+  void clear();
+
+ private:
+  std::uint32_t tenure_;
+  std::vector<std::int64_t> last_;
+};
+
+}  // namespace dabs

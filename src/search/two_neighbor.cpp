@@ -1,0 +1,20 @@
+#include "search/two_neighbor.hpp"
+
+namespace dabs {
+
+void TwoNeighborSearch::run(SearchState& state, Rng& /*rng*/,
+                            TabuList* /*tabu*/, std::uint64_t /*iterations*/) {
+  const auto n = static_cast<VarIndex>(state.size());
+  if (n == 0) return;
+  // Flip sequence 0, then (k, k-1) for k = 1 .. n-1: 2n-1 flips total.
+  state.scan();
+  state.flip(0);
+  for (VarIndex k = 1; k < n; ++k) {
+    state.scan();
+    state.flip(k);
+    state.scan();
+    state.flip(k - 1);
+  }
+}
+
+}  // namespace dabs

@@ -1,0 +1,22 @@
+// TwoNeighbor search (paper §III-A-7): a deterministic 2n-1 flip ripple
+//
+//   0, 1, 0, 2, 1, 3, 2, 4, 3, ..., n-1, n-2
+//
+// that makes the walking solution visit every 1-bit neighbor of the start
+// vector; because Step 1 scans all 1-bit neighbors of every visited vector,
+// the batch search effectively examines the full 2-bit neighborhood (and
+// parts of the 3-bit one).  Runs exactly once per batch search.
+#pragma once
+
+#include "search/search_algorithm.hpp"
+
+namespace dabs {
+
+class TwoNeighborSearch final : public SearchAlgorithm {
+ public:
+  /// Ignores `iterations`; always performs the fixed 2n-1 flips.
+  void run(SearchState& state, Rng& rng, TabuList* tabu,
+           std::uint64_t iterations) override;
+};
+
+}  // namespace dabs

@@ -1,0 +1,89 @@
+#include "util/arg_parser.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  DABS_CHECK(argc >= 1, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token isn't an option; else boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return options_.count(name) != 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  DABS_CHECK(end && *end == '\0' && !v->empty(),
+             "option --" + name + " expects an integer, got '" + *v + "'");
+  return parsed;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  DABS_CHECK(end && *end == '\0' && !v->empty(),
+             "option --" + name + " expects a number, got '" + *v + "'");
+  return parsed;
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  DABS_CHECK(false, "option --" + name + " expects a boolean, got '" + *v +
+                        "'");
+  return fallback;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : options_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dabs

@@ -1,0 +1,50 @@
+// Minimal command-line argument parser for the example/tool binaries.
+//
+// Supports "--name value", "--name=value", boolean "--flag", and free
+// positional arguments.  Typed accessors validate and convert, throwing
+// std::invalid_argument with a readable message on bad input — the tools
+// catch it and print usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dabs {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+  bool has(const std::string& name) const;
+
+  /// String option; `fallback` when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed accessors.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names that were provided but never queried — typo detection.
+  /// Call after all get()s; returns the unknown names.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace dabs

@@ -1,0 +1,36 @@
+// Lightweight assertion / check macros for the dabs library.
+//
+// DABS_ASSERT  - debug-only invariant check on hot paths (compiled out in
+//                release builds unless DABS_FORCE_ASSERTS is defined).
+// DABS_CHECK   - always-on precondition check on public API boundaries;
+//                throws std::invalid_argument with a readable message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dabs::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DABS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace dabs::detail
+
+#define DABS_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::dabs::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(DABS_FORCE_ASSERTS)
+#define DABS_ASSERT(expr) DABS_CHECK(expr, "internal invariant")
+#else
+#define DABS_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,81 @@
+#include "util/bit_vector.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+BitVector::BitVector(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+BitVector BitVector::from_string(const std::string& s) {
+  BitVector v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    DABS_CHECK(s[i] == '0' || s[i] == '1', "bit string must be 0/1");
+    v.set(i, s[i] == '1');
+  }
+  return v;
+}
+
+void BitVector::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::fill(bool v) noexcept {
+  const std::uint64_t pattern = v ? ~std::uint64_t{0} : 0;
+  for (auto& w : words_) w = pattern;
+  mask_tail();
+}
+
+void BitVector::mask_tail() noexcept {
+  const std::size_t rem = n_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+std::size_t BitVector::count() const noexcept {
+  std::size_t c = 0;
+  for (auto w : words_) c += std::popcount(w);
+  return c;
+}
+
+std::size_t BitVector::hamming_distance(const BitVector& other) const {
+  DABS_CHECK(n_ == other.n_, "hamming_distance requires equal lengths");
+  std::size_t d = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    d += std::popcount(words_[w] ^ other.words_[w]);
+  }
+  return d;
+}
+
+std::size_t BitVector::first_difference(const BitVector& other) const {
+  DABS_CHECK(n_ == other.n_, "first_difference requires equal lengths");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t x = words_[w] ^ other.words_[w];
+    if (x != 0) return w * 64 + std::countr_zero(x);
+  }
+  return n_;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(n_, '0');
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+std::uint64_t BitVector::hash() const noexcept {
+  // FNV-1a over the packed words; cheap and adequate for pool dedup.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (auto w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  h ^= n_;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace dabs

@@ -1,0 +1,44 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+Histogram::Histogram(double lo, double hi, double width)
+    : lo_(lo), width_(width) {
+  DABS_CHECK(width > 0, "bin width must be positive");
+  DABS_CHECK(hi > lo, "histogram range must be non-empty");
+  const auto nbins = static_cast<std::size_t>(std::ceil((hi - lo) / width));
+  counts_.assign(nbins, 0);
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((sample - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+std::string Histogram::to_table(int label_precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(label_precision);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << std::setw(12) << bin_lo(i) << "  " << counts_[i] << '\n';
+  }
+  if (underflow_ != 0) os << "  underflow  " << underflow_ << '\n';
+  if (overflow_ != 0) os << "  overflow   " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace dabs

@@ -1,0 +1,37 @@
+// Fixed-width histogram matching the paper's presentation: bins labelled
+// b1, b2, ... where bin i covers the half-open range [b_i, b_{i+1}).
+// Used to regenerate Figs. 5-7 (TTS and solution-quality histograms).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dabs {
+
+class Histogram {
+ public:
+  /// Bins [lo, lo+width), [lo+width, lo+2*width), ... covering [lo, hi).
+  /// Samples below lo or at/above hi are counted in underflow/overflow.
+  Histogram(double lo, double hi, double width);
+
+  void add(double sample);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  /// Left edge of bin i (the paper's bin label b_{i+1}).
+  double bin_lo(std::size_t i) const { return lo_ + width_ * double(i); }
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+  /// Renders one "label count" row per bin, e.g. for bench output.
+  std::string to_table(int label_precision = 1) const;
+
+ private:
+  double lo_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace dabs

@@ -1,0 +1,31 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dabs {
+
+void SummaryStats::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / double(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double SummaryStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double SummaryStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream os;
+  os << "mean=" << mean() << " std=" << stddev() << " min=" << (n_ ? min_ : 0)
+     << " max=" << (n_ ? max_ : 0) << " n=" << n_;
+  return os.str();
+}
+
+}  // namespace dabs

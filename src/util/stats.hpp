@@ -1,0 +1,34 @@
+// Streaming summary statistics (Welford) used by the benchmark harness for
+// TTS averages and by RunStats for per-run aggregates.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace dabs {
+
+class SummaryStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// "mean=... std=... min=... max=... n=..." one-liner.
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dabs

@@ -1,0 +1,81 @@
+// Unit tests for the command-line argument parser.
+#include <gtest/gtest.h>
+
+#include "util/arg_parser.hpp"
+
+namespace dabs {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgParser, ProgramNameAndPositionals) {
+  const auto a = parse({"prog", "file1", "file2"});
+  EXPECT_EQ(a.program(), "prog");
+  EXPECT_EQ(a.positional(), (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  const auto a = parse({"prog", "--name", "value", "pos"});
+  EXPECT_EQ(a.get("name", ""), "value");
+  EXPECT_EQ(a.positional(), (std::vector<std::string>{"pos"}));
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  const auto a = parse({"prog", "--limit=3.5", "--label=x=y"});
+  EXPECT_DOUBLE_EQ(a.get_double("limit", 0), 3.5);
+  EXPECT_EQ(a.get("label", ""), "x=y");  // only the first '=' splits
+}
+
+TEST(ArgParser, BooleanFlags) {
+  const auto a = parse({"prog", "--verbose", "--json"});
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_TRUE(a.get_bool("json"));
+  EXPECT_FALSE(a.get_bool("absent"));
+  EXPECT_TRUE(a.get_bool("absent", true));
+}
+
+TEST(ArgParser, FlagFollowedByOption) {
+  const auto a = parse({"prog", "--flag", "--name", "v"});
+  EXPECT_TRUE(a.get_bool("flag"));
+  EXPECT_EQ(a.get("name", ""), "v");
+}
+
+TEST(ArgParser, IntParsingAndValidation) {
+  const auto a = parse({"prog", "--n", "42", "--bad", "4x2"});
+  EXPECT_EQ(a.get_int("n", 0), 42);
+  EXPECT_EQ(a.get_int("absent", -7), -7);
+  EXPECT_THROW((void)a.get_int("bad", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, DoubleParsingAndValidation) {
+  const auto a = parse({"prog", "--x", "2.5e-1", "--bad", "zz"});
+  EXPECT_DOUBLE_EQ(a.get_double("x", 0), 0.25);
+  EXPECT_THROW((void)a.get_double("bad", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, BoolValueForms) {
+  const auto a = parse({"prog", "--a", "yes", "--b", "0", "--c", "maybe"});
+  EXPECT_TRUE(a.get_bool("a"));
+  EXPECT_FALSE(a.get_bool("b", true));
+  EXPECT_THROW((void)a.get_bool("c"), std::invalid_argument);
+}
+
+TEST(ArgParser, UnusedDetectsTypos) {
+  const auto a = parse({"prog", "--good", "1", "--typo", "2"});
+  (void)a.get_int("good", 0);
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgParser, HasMarksQueried) {
+  const auto a = parse({"prog", "--opt", "1"});
+  EXPECT_TRUE(a.has("opt"));
+  EXPECT_TRUE(a.unused().empty());
+}
+
+}  // namespace
+}  // namespace dabs

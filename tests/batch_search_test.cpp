@@ -1,0 +1,137 @@
+// Tests for the batch search driver (paper §III-B): straight -> alternating
+// greedy/main phases under the s and b flip factors.
+#include <gtest/gtest.h>
+
+#include "search/batch_search.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_model;
+using testing::random_solution;
+
+BatchParams quick_params() {
+  BatchParams p;
+  p.search_flip_factor = 0.2;
+  p.batch_flip_factor = 1.0;
+  p.tabu_tenure = 8;
+  return p;
+}
+
+TEST(BatchSearch, MeetsFlipBudget) {
+  const QuboModel m = random_model(100, 0.3, 9, 2000);
+  BatchSearch bs(m, quick_params(), 1);
+  Rng rng(1);
+  const BitVector target = random_solution(100, rng);
+  const BatchResult r = bs.run(target, MainSearch::kMaxMin);
+  // The batch runs until total flips >= b*n (possibly more: it finishes the
+  // main/greedy phase in progress).
+  EXPECT_GE(r.flips, 100u);
+}
+
+TEST(BatchSearch, EndsAtLocalMinimum) {
+  // The loop always ends with a Greedy phase, so the walking solution must
+  // be a 1-flip local minimum.
+  const QuboModel m = random_model(80, 0.4, 9, 2001);
+  BatchSearch bs(m, quick_params(), 2);
+  Rng rng(2);
+  bs.run(random_solution(80, rng), MainSearch::kPositiveMin);
+  EXPECT_TRUE(bs.state().is_local_minimum());
+}
+
+TEST(BatchSearch, ReportedBestIsConsistent) {
+  const QuboModel m = random_model(60, 0.4, 9, 2002);
+  BatchSearch bs(m, quick_params(), 3);
+  Rng rng(3);
+  const BitVector target = random_solution(60, rng);
+  const BatchResult r = bs.run(target, MainSearch::kRandomMin);
+  EXPECT_EQ(m.energy(r.best), r.best_energy);
+  // The best can never be worse than the (greedy-polished) target region;
+  // at minimum it must beat the raw target.
+  EXPECT_LE(r.best_energy, m.energy(target));
+}
+
+TEST(BatchSearch, StatePersistsAcrossBatches) {
+  const QuboModel m = random_model(50, 0.5, 9, 2003);
+  BatchSearch bs(m, quick_params(), 4);
+  Rng rng(4);
+  bs.run(random_solution(50, rng), MainSearch::kMaxMin);
+  const std::uint64_t after_first = bs.state().flip_count();
+  EXPECT_GT(after_first, 0u);
+  bs.run(random_solution(50, rng), MainSearch::kCyclicMin);
+  EXPECT_GT(bs.state().flip_count(), after_first);  // not reset
+}
+
+TEST(BatchSearch, FirstBatchStartsFromZeroVector) {
+  // With target = zero vector, the straight phase is a no-op, so the first
+  // flips come from greedy: from the zero vector, E can only go down.
+  const QuboModel m = random_model(40, 0.5, 9, 2004);
+  BatchSearch bs(m, quick_params(), 5);
+  const BitVector zero(40);
+  const BatchResult r = bs.run(zero, MainSearch::kMaxMin);
+  EXPECT_LE(r.best_energy, 0);
+}
+
+TEST(BatchSearch, TwoNeighborRunsExactlyOnce) {
+  const QuboModel m = random_model(30, 0.5, 9, 2005);
+  BatchParams p = quick_params();
+  p.batch_flip_factor = 100.0;  // would force many main phases otherwise
+  BatchSearch bs(m, p, 6);
+  Rng rng(6);
+  const BatchResult r = bs.run(random_solution(30, rng),
+                               MainSearch::kTwoNeighbor);
+  // straight (<= n) + greedy (bounded) + one 2n-1 ripple + greedy: far less
+  // than the 100n the budget would demand of a repeating main search.
+  EXPECT_LT(r.flips, 100u * 30u / 2);
+}
+
+TEST(BatchSearch, DeterministicForSameSeed) {
+  const QuboModel m = random_model(45, 0.5, 9, 2006);
+  BatchSearch a(m, quick_params(), 77);
+  BatchSearch b(m, quick_params(), 77);
+  Rng rng(7);
+  const BitVector target = random_solution(45, rng);
+  const BatchResult ra = a.run(target, MainSearch::kRandomMin);
+  const BatchResult rb = b.run(target, MainSearch::kRandomMin);
+  EXPECT_EQ(ra.best_energy, rb.best_energy);
+  EXPECT_EQ(ra.best, rb.best);
+  EXPECT_EQ(ra.flips, rb.flips);
+}
+
+TEST(BatchSearch, InstancesAreIndependent) {
+  // Running one instance must not perturb another bound to the same model.
+  const QuboModel m = random_model(45, 0.5, 9, 2007);
+  BatchSearch a(m, quick_params(), 77);
+  BatchSearch b(m, quick_params(), 77);
+  Rng rng(8);
+  const BitVector target = random_solution(45, rng);
+  const BatchResult ra1 = a.run(target, MainSearch::kMaxMin);
+  // Interleave extra work on b, then replay a's schedule on b.
+  const BatchResult rb1 = b.run(target, MainSearch::kMaxMin);
+  EXPECT_EQ(ra1.best_energy, rb1.best_energy);
+  EXPECT_EQ(a.state().solution(), b.state().solution());
+}
+
+TEST(BatchSearch, RejectsBadParams) {
+  const QuboModel m = random_model(10, 0.5, 9, 2008);
+  BatchParams p;
+  p.search_flip_factor = 0.0;
+  EXPECT_THROW(BatchSearch(m, p, 1), std::invalid_argument);
+  p = {};
+  p.batch_flip_factor = -1.0;
+  EXPECT_THROW(BatchSearch(m, p, 1), std::invalid_argument);
+}
+
+TEST(BatchSearch, SmallBatchFactorStillRunsOneGreedyPhase) {
+  const QuboModel m = random_model(25, 0.5, 9, 2009);
+  BatchParams p = quick_params();
+  p.batch_flip_factor = 1e-9;  // budget of 1 flip
+  BatchSearch bs(m, p, 9);
+  Rng rng(9);
+  bs.run(random_solution(25, rng), MainSearch::kMaxMin);
+  EXPECT_TRUE(bs.state().is_local_minimum());
+}
+
+}  // namespace
+}  // namespace dabs

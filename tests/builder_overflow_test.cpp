@@ -1,0 +1,81 @@
+// Overflow-hardening tests for QuboBuilder and RunStats JSON output.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "core/run_stats.hpp"
+#include "io/json_writer.hpp"
+#include "qubo/qubo_builder.hpp"
+
+namespace dabs {
+namespace {
+
+constexpr Weight kMaxW = std::numeric_limits<Weight>::max();
+
+TEST(BuilderOverflow, LinearAccumulationOverflowIsRejected) {
+  QuboBuilder b(2);
+  b.add_linear(0, kMaxW).add_linear(0, 1);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(BuilderOverflow, QuadraticAccumulationOverflowIsRejected) {
+  QuboBuilder b(2);
+  b.add_quadratic(0, 1, kMaxW).add_quadratic(0, 1, kMaxW);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(BuilderOverflow, CancellingTermsAreFine) {
+  // Intermediate sums may exceed int32 as long as the final value fits.
+  QuboBuilder b(2);
+  b.add_linear(0, kMaxW).add_linear(0, kMaxW).add_linear(0, -kMaxW);
+  b.add_quadratic(0, 1, kMaxW).add_quadratic(0, 1, -kMaxW)
+      .add_quadratic(0, 1, 5);
+  const QuboModel m = b.build();
+  EXPECT_EQ(m.diag(0), kMaxW);
+  EXPECT_EQ(m.weight(0, 1), 5);
+}
+
+TEST(BuilderOverflow, ExactBoundaryValuesSurvive) {
+  QuboBuilder b(2);
+  b.add_linear(0, kMaxW);
+  b.add_linear(1, std::numeric_limits<Weight>::min());
+  const QuboModel m = b.build();
+  EXPECT_EQ(m.diag(0), kMaxW);
+  EXPECT_EQ(m.diag(1), std::numeric_limits<Weight>::min());
+}
+
+TEST(RunStatsJson, EmitsWellFormedObject) {
+  RunStats stats;
+  stats.record_batch(MainSearch::kCyclicMin, GeneticOp::kXrossover);
+  stats.record_batch(MainSearch::kCyclicMin, GeneticOp::kBest);
+  stats.record_improvement(0.25, -42, MainSearch::kCyclicMin,
+                           GeneticOp::kXrossover);
+  std::ostringstream out;
+  {
+    io::JsonWriter json(out);
+    stats.snapshot().write_json(json);
+    EXPECT_TRUE(json.complete());
+  }
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"batches\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"CyclicMin\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"Xrossover\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"energy\":-42"), std::string::npos);
+}
+
+TEST(RunStatsJson, NestsUnderAKeyInsideAnObject) {
+  RunStats stats;
+  stats.record_batch(MainSearch::kMaxMin, GeneticOp::kZero);
+  std::ostringstream out;
+  {
+    io::JsonWriter json(out);
+    json.begin_object().value("run", std::int64_t{1});
+    stats.snapshot().write_json(json, "stats");
+    json.end_object();
+  }
+  EXPECT_NE(out.str().find("\"stats\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,117 @@
+// Tests for the campaign runner (the tables' measurement protocol) and the
+// solution IO format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/abs_solver.hpp"
+#include "baseline/exhaustive.hpp"
+#include "core/campaign.hpp"
+#include "io/solution_io.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_model;
+
+SolverConfig campaign_config() {
+  SolverConfig c;
+  c.devices = 2;
+  c.device.blocks = 2;
+  c.mode = ExecutionMode::kSynchronous;
+  c.stop.max_batches = 300;
+  c.seed = 5;
+  return c;
+}
+
+TEST(Campaign, CountsSuccessesAgainstTarget) {
+  const QuboModel m = random_model(14, 0.6, 9, 8000);
+  const Energy truth = ExhaustiveSolver().solve(m).best_energy;
+  const Campaign camp(campaign_config(), 6);
+  const CampaignResult r = camp.run(m, truth);
+  EXPECT_EQ(r.runs, 6u);
+  EXPECT_EQ(r.final_energies.size(), 6u);
+  EXPECT_EQ(r.successes, r.tts_samples.size());
+  EXPECT_GT(r.successes, 0u);  // trivial at this size
+  EXPECT_EQ(r.best_energy, truth);
+  EXPECT_DOUBLE_EQ(r.success_rate(), double(r.successes) / 6.0);
+}
+
+TEST(Campaign, UnreachableTargetYieldsZeroSuccesses) {
+  const QuboModel m = random_model(12, 0.6, 9, 8001);
+  const Energy truth = ExhaustiveSolver().solve(m).best_energy;
+  const Campaign camp(campaign_config(), 3);
+  const CampaignResult r = camp.run(m, truth - 1);  // below the optimum
+  EXPECT_EQ(r.successes, 0u);
+  EXPECT_EQ(r.tts.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.success_rate(), 0.0);
+  EXPECT_EQ(r.best_energy, truth);
+}
+
+TEST(Campaign, TrialsUseDistinctSeeds) {
+  const QuboModel m = random_model(20, 0.5, 9, 8002);
+  const Campaign camp(campaign_config(), 4);
+  std::vector<std::uint64_t> seeds;
+  (void)camp.run_with(m, -1,
+                      [&](std::size_t, const SolverConfig& cfg) {
+                        seeds.push_back(cfg.seed);
+                        return DabsSolver(cfg).solve(m);
+                      });
+  ASSERT_EQ(seeds.size(), 4u);
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    EXPECT_NE(seeds[i], seeds[i - 1]);
+  }
+}
+
+TEST(Campaign, WorksWithBaselineSolvers) {
+  const QuboModel m = random_model(14, 0.6, 9, 8003);
+  const Energy truth = ExhaustiveSolver().solve(m).best_energy;
+  const Campaign camp(campaign_config(), 3);
+  const CampaignResult r = camp.run_with(
+      m, truth, [&m](std::size_t, const SolverConfig& cfg) {
+        return AbsSolver(cfg).solve(m);
+      });
+  EXPECT_EQ(r.runs, 3u);
+  EXPECT_LE(r.best_energy, 0);
+}
+
+TEST(Campaign, EstablishReferenceRunsToBudget) {
+  const QuboModel m = random_model(16, 0.6, 9, 8004);
+  const Energy ref = establish_reference(m, campaign_config(), 0.3);
+  EXPECT_LT(ref, 0);  // random models this size always dip below zero
+  EXPECT_THROW((void)establish_reference(m, campaign_config(), 0.0),
+               std::invalid_argument);
+}
+
+TEST(SolutionIo, RoundTripThroughStream) {
+  Rng rng(1);
+  const BitVector x = testing::random_solution(77, rng);
+  std::stringstream buf;
+  io::write_solution(buf, x, -1234);
+  const io::StoredSolution s = io::read_solution(buf);
+  EXPECT_EQ(s.solution, x);
+  EXPECT_EQ(s.energy, -1234);
+}
+
+TEST(SolutionIo, FileRoundTrip) {
+  Rng rng(2);
+  const BitVector x = testing::random_solution(33, rng);
+  const std::string path = ::testing::TempDir() + "/dabs_solution_test.sol";
+  io::write_solution_file(path, x, 42);
+  const io::StoredSolution s = io::read_solution_file(path);
+  EXPECT_EQ(s.solution, x);
+  EXPECT_EQ(s.energy, 42);
+}
+
+TEST(SolutionIo, RejectsMalformedInput) {
+  std::istringstream bad_header("nope 3 1\n010\n");
+  EXPECT_THROW((void)io::read_solution(bad_header), std::invalid_argument);
+  std::istringstream short_bits("solution 4 0\n010\n");
+  EXPECT_THROW((void)io::read_solution(short_bits), std::invalid_argument);
+  std::istringstream bad_bits("solution 3 0\n01x\n");
+  EXPECT_THROW((void)io::read_solution(bad_bits), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,103 @@
+// Reproducibility sweep: every main search algorithm, genetic operation,
+// and the full synchronous solver must be bit-identical given the same
+// seed — the property the virtual-device substrate guarantees and the
+// paper's GPU implementation (per-thread Xorshift streams) aims for.
+#include <gtest/gtest.h>
+
+#include "core/dabs_solver.hpp"
+#include "qubo/search_state.hpp"
+#include "search/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_model;
+using testing::random_solution;
+
+class AlgorithmDeterminism : public ::testing::TestWithParam<MainSearch> {};
+
+TEST_P(AlgorithmDeterminism, IdenticalSeedsIdenticalWalks) {
+  const QuboModel m = random_model(36, 0.5, 9, 11000);
+  Rng seed_rng(1);
+  const BitVector start = random_solution(36, seed_rng);
+
+  SearchState sa(m), sb(m);
+  sa.reset_to(start);
+  sb.reset_to(start);
+  Rng ra(777), rb(777);
+  TabuList ta(36, 8), tb(36, 8);
+  auto algo_a = make_search_algorithm(GetParam());
+  auto algo_b = make_search_algorithm(GetParam());
+  algo_a->run(sa, ra, &ta, 120);
+  algo_b->run(sb, rb, &tb, 120);
+  EXPECT_EQ(sa.solution(), sb.solution());
+  EXPECT_EQ(sa.energy(), sb.energy());
+  EXPECT_EQ(sa.best(), sb.best());
+  EXPECT_EQ(sa.best_energy(), sb.best_energy());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmDeterminism,
+                         ::testing::ValuesIn(kAllMainSearches),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+class SolverDeterminism : public ::testing::TestWithParam<MainSearch> {};
+
+TEST_P(SolverDeterminism, SingleAlgorithmConfigIsReproducible) {
+  const QuboModel m = random_model(24, 0.5, 9, 11001);
+  SolverConfig c;
+  c.devices = 2;
+  c.device.blocks = 2;
+  c.mode = ExecutionMode::kSynchronous;
+  c.algorithms = {GetParam()};
+  c.stop.max_batches = 40;
+  c.seed = 314159;
+  const SolveResult a = DabsSolver(c).solve(m);
+  const SolveResult b = DabsSolver(c).solve(m);
+  EXPECT_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.best_solution, b.best_solution);
+  EXPECT_EQ(a.stats.op_executed, b.stats.op_executed);
+  EXPECT_EQ(a.stats.improvements.size(), b.stats.improvements.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SolverDeterminism,
+                         ::testing::ValuesIn(kAllMainSearches),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(SolverDeterminismMisc, WarmStartDoesNotBreakReproducibility) {
+  const QuboModel m = random_model(20, 0.5, 9, 11002);
+  Rng rng(5);
+  SolverConfig c;
+  c.devices = 2;
+  c.device.blocks = 1;
+  c.mode = ExecutionMode::kSynchronous;
+  c.warm_start = {random_solution(20, rng), random_solution(20, rng)};
+  c.stop.max_batches = 30;
+  const SolveResult a = DabsSolver(c).solve(m);
+  const SolveResult b = DabsSolver(c).solve(m);
+  EXPECT_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.best_solution, b.best_solution);
+}
+
+TEST(SolverDeterminismMisc, DeviceAndBlockCountChangeTheWalkNotValidity) {
+  const QuboModel m = random_model(20, 0.5, 9, 11003);
+  for (const std::size_t devices : {1u, 2u, 3u}) {
+    for (const std::uint32_t blocks : {1u, 2u}) {
+      SolverConfig c;
+      c.devices = devices;
+      c.device.blocks = blocks;
+      c.mode = ExecutionMode::kSynchronous;
+      c.stop.max_batches = 30;
+      const SolveResult r = DabsSolver(c).solve(m);
+      EXPECT_EQ(m.energy(r.best_solution), r.best_energy)
+          << devices << "x" << blocks;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,209 @@
+// Tests for the virtual-device substrate: packets, queues, devices, groups.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "device/device_group.hpp"
+#include "device/packet.hpp"
+#include "device/packet_queue.hpp"
+#include "device/virtual_device.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_model;
+using testing::random_solution;
+
+Packet make_test_packet(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Packet p;
+  p.solution = random_solution(n, rng);
+  p.algo = MainSearch::kMaxMin;
+  p.op = GeneticOp::kMutation;
+  return p;
+}
+
+TEST(Packet, VoidEnergyUntilDeviceFillsIt) {
+  const Packet p = make_test_packet(16, 1);
+  EXPECT_FALSE(p.has_energy());
+}
+
+TEST(Packet, DescribeRendersTableOneStyle) {
+  Packet p = make_test_packet(16, 2);
+  const std::string host_to_dev = describe(p);
+  EXPECT_NE(host_to_dev.find("void"), std::string::npos);
+  EXPECT_NE(host_to_dev.find("MaxMin"), std::string::npos);
+  EXPECT_NE(host_to_dev.find("Mutation"), std::string::npos);
+  p.energy = -1340;
+  EXPECT_NE(describe(p).find("-1340"), std::string::npos);
+}
+
+TEST(PacketQueue, FifoOrder) {
+  PacketQueue q(4);
+  for (int i = 0; i < 3; ++i) {
+    Packet p = make_test_packet(8, i);
+    p.pool_index = i;
+    ASSERT_TRUE(q.push(std::move(p)));
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto p = q.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->pool_index, i);
+  }
+}
+
+TEST(PacketQueue, TryPushFailsWhenFull) {
+  PacketQueue q(1);
+  EXPECT_TRUE(q.try_push(make_test_packet(8, 1)));
+  EXPECT_FALSE(q.try_push(make_test_packet(8, 2)));
+  (void)q.try_pop();
+  EXPECT_TRUE(q.try_push(make_test_packet(8, 3)));
+}
+
+TEST(PacketQueue, TryPopOnEmptyReturnsNullopt) {
+  PacketQueue q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(PacketQueue, CloseDrainsThenEnds) {
+  PacketQueue q(4);
+  ASSERT_TRUE(q.push(make_test_packet(8, 1)));
+  q.close();
+  EXPECT_FALSE(q.push(make_test_packet(8, 2)));  // rejected after close
+  EXPECT_TRUE(q.pop().has_value());              // drains the remainder
+  EXPECT_FALSE(q.pop().has_value());             // then signals end
+}
+
+TEST(PacketQueue, CloseReleasesBlockedPopper) {
+  PacketQueue q(2);
+  std::thread waiter([&q] {
+    const auto p = q.pop();  // blocks until close
+    EXPECT_FALSE(p.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  waiter.join();
+}
+
+TEST(PacketQueue, CloseReleasesBlockedPusher) {
+  PacketQueue q(1);
+  ASSERT_TRUE(q.push(make_test_packet(8, 1)));
+  std::thread pusher([&q] {
+    EXPECT_FALSE(q.push(make_test_packet(8, 2)));  // blocked, then rejected
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  pusher.join();
+}
+
+TEST(PacketQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(PacketQueue(0), std::invalid_argument);
+}
+
+DeviceConfig quick_device_config() {
+  DeviceConfig c;
+  c.blocks = 2;
+  c.queue_capacity = 4;
+  c.batch.search_flip_factor = 0.2;
+  c.batch.batch_flip_factor = 0.5;
+  return c;
+}
+
+TEST(VirtualDevice, ExecuteFillsEnergyAndPreservesMetadata) {
+  const QuboModel m = random_model(40, 0.4, 9, 3000);
+  MersenneSeeder seeder(1);
+  VirtualDevice dev(m, quick_device_config(), seeder);
+  Packet p = make_test_packet(40, 3);
+  p.pool_index = 7;
+  const Packet out = dev.execute(p, 0);
+  EXPECT_TRUE(out.has_energy());
+  EXPECT_EQ(m.energy(out.solution), out.energy);
+  EXPECT_EQ(out.algo, p.algo);
+  EXPECT_EQ(out.op, p.op);
+  EXPECT_EQ(out.pool_index, 7u);
+}
+
+TEST(VirtualDevice, SynchronousProcessingRoundRobins) {
+  const QuboModel m = random_model(30, 0.4, 9, 3001);
+  MersenneSeeder seeder(2);
+  VirtualDevice dev(m, quick_device_config(), seeder);
+  EXPECT_FALSE(dev.process_next());  // empty inbox
+  ASSERT_TRUE(dev.inbox().try_push(make_test_packet(30, 4)));
+  ASSERT_TRUE(dev.inbox().try_push(make_test_packet(30, 5)));
+  EXPECT_TRUE(dev.process_next());
+  EXPECT_TRUE(dev.process_next());
+  EXPECT_EQ(dev.batches_executed(), 2u);
+  EXPECT_EQ(dev.outbox().size(), 2u);
+}
+
+TEST(VirtualDevice, ThreadedModeProcessesAllPackets) {
+  const QuboModel m = random_model(30, 0.4, 9, 3002);
+  MersenneSeeder seeder(3);
+  VirtualDevice dev(m, quick_device_config(), seeder);
+  dev.start();
+  const int kPackets = 12;
+  int results = 0;
+  std::thread producer([&dev] {
+    for (int i = 0; i < kPackets; ++i) {
+      dev.inbox().push(make_test_packet(30, 100 + i));
+    }
+  });
+  for (int i = 0; i < kPackets; ++i) {
+    const auto p = dev.outbox().pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(m.energy(p->solution), p->energy);
+    ++results;
+  }
+  producer.join();
+  dev.stop();
+  EXPECT_EQ(results, kPackets);
+  EXPECT_EQ(dev.batches_executed(), static_cast<std::uint64_t>(kPackets));
+}
+
+TEST(VirtualDevice, StopWithoutStartIsSafe) {
+  const QuboModel m = random_model(10, 0.5, 9, 3003);
+  MersenneSeeder seeder(4);
+  VirtualDevice dev(m, quick_device_config(), seeder);
+  dev.stop();
+  SUCCEED();
+}
+
+TEST(VirtualDevice, StopUnblocksIdleWorkers) {
+  const QuboModel m = random_model(10, 0.5, 9, 3004);
+  MersenneSeeder seeder(5);
+  auto dev = std::make_unique<VirtualDevice>(m, quick_device_config(), seeder);
+  dev->start();
+  dev->stop();  // workers blocked in pop() must exit
+  SUCCEED();
+}
+
+TEST(DeviceGroup, CreatesRequestedDevices) {
+  const QuboModel m = random_model(20, 0.5, 9, 3005);
+  MersenneSeeder seeder(6);
+  DeviceGroup group(m, 3, quick_device_config(), seeder);
+  EXPECT_EQ(group.device_count(), 3u);
+  EXPECT_EQ(group.total_batches(), 0u);
+}
+
+TEST(DeviceGroup, TotalBatchesAggregates) {
+  const QuboModel m = random_model(20, 0.5, 9, 3006);
+  MersenneSeeder seeder(7);
+  DeviceGroup group(m, 2, quick_device_config(), seeder);
+  (void)group.device(0).execute(make_test_packet(20, 1), 0);
+  (void)group.device(1).execute(make_test_packet(20, 2), 0);
+  (void)group.device(1).execute(make_test_packet(20, 3), 1);
+  EXPECT_EQ(group.total_batches(), 3u);
+}
+
+TEST(DeviceGroup, StartStopAllIsClean) {
+  const QuboModel m = random_model(16, 0.5, 9, 3007);
+  MersenneSeeder seeder(8);
+  DeviceGroup group(m, 2, quick_device_config(), seeder);
+  group.start_all();
+  group.stop_all();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dabs

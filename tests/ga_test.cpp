@@ -1,0 +1,373 @@
+// Tests for the GA host machinery: solution pool, genetic operations,
+// adaptive selector, island ring.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ga/adaptive_selector.hpp"
+#include "ga/genetic_ops.hpp"
+#include "ga/island_ring.hpp"
+#include "ga/solution_pool.hpp"
+#include "rng/seeder.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_solution;
+
+PoolEntry entry_of(const BitVector& x, Energy e,
+                   MainSearch a = MainSearch::kMaxMin,
+                   GeneticOp op = GeneticOp::kMutation) {
+  return {x, e, a, op};
+}
+
+BitVector vec_with_value(std::size_t n, std::uint64_t pattern) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n && i < 64; ++i) v.set(i, (pattern >> i) & 1);
+  return v;
+}
+
+TEST(SolutionPool, InsertKeepsAscendingOrder) {
+  SolutionPool pool(5, 16);
+  pool.insert(entry_of(vec_with_value(16, 1), -10));
+  pool.insert(entry_of(vec_with_value(16, 2), -30));
+  pool.insert(entry_of(vec_with_value(16, 3), -20));
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.entry(0).energy, -30);
+  EXPECT_EQ(pool.entry(1).energy, -20);
+  EXPECT_EQ(pool.entry(2).energy, -10);
+}
+
+TEST(SolutionPool, RejectsWorseThanWorstWhenFull) {
+  SolutionPool pool(2, 16);
+  EXPECT_TRUE(pool.insert(entry_of(vec_with_value(16, 1), -5)));
+  EXPECT_TRUE(pool.insert(entry_of(vec_with_value(16, 2), -8)));
+  EXPECT_FALSE(pool.insert(entry_of(vec_with_value(16, 3), -5)));
+  EXPECT_FALSE(pool.insert(entry_of(vec_with_value(16, 4), -1)));
+  EXPECT_TRUE(pool.insert(entry_of(vec_with_value(16, 5), -9)));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.best_energy(), -9);
+  EXPECT_EQ(pool.worst_energy(), -8);
+}
+
+TEST(SolutionPool, RejectsExactDuplicates) {
+  SolutionPool pool(5, 16);
+  const BitVector x = vec_with_value(16, 0xAB);
+  EXPECT_TRUE(pool.insert(entry_of(x, -7)));
+  EXPECT_FALSE(pool.insert(entry_of(x, -7)));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SolutionPool, AllowsEqualEnergyDistinctSolutions) {
+  SolutionPool pool(5, 16);
+  EXPECT_TRUE(pool.insert(entry_of(vec_with_value(16, 1), -7)));
+  EXPECT_TRUE(pool.insert(entry_of(vec_with_value(16, 2), -7)));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(SolutionPool, InitializeRandomFillsToCapacityAtInfinity) {
+  SolutionPool pool(10, 32);
+  Rng rng(1);
+  pool.initialize_random(rng);
+  EXPECT_EQ(pool.size(), 10u);
+  EXPECT_EQ(pool.best_energy(), kInfiniteEnergy);
+  EXPECT_EQ(pool.worst_energy(), kInfiniteEnergy);
+}
+
+TEST(SolutionPool, AnyRealSolutionBeatsInfinitySeeds) {
+  SolutionPool pool(3, 16);
+  Rng rng(2);
+  pool.initialize_random(rng);
+  EXPECT_TRUE(pool.insert(entry_of(vec_with_value(16, 9), 1000)));
+  EXPECT_EQ(pool.best_energy(), 1000);
+}
+
+TEST(SolutionPool, SelectionsComeFromPool) {
+  SolutionPool pool(4, 16);
+  pool.insert(entry_of(vec_with_value(16, 1), -1));
+  pool.insert(entry_of(vec_with_value(16, 2), -2));
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const PoolEntry e = pool.select_cube_weighted(rng);
+    EXPECT_TRUE(e.energy == -1 || e.energy == -2);
+    const PoolEntry u = pool.select_uniform(rng);
+    EXPECT_TRUE(u.energy == -1 || u.energy == -2);
+  }
+}
+
+TEST(SolutionPool, CubeSelectionPrefersBest) {
+  SolutionPool pool(100, 8);
+  for (int i = 0; i < 100; ++i) {
+    pool.insert(entry_of(vec_with_value(8, i), -1000 + i));
+  }
+  Rng rng(4);
+  int best_picks = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (pool.select_cube_weighted(rng).energy == -1000) ++best_picks;
+  }
+  // Cube rule: P(rank 0) = (1/100)^(1/3) ~= 0.215, uniform would give 0.01.
+  EXPECT_GT(double(best_picks) / trials, 0.15);
+}
+
+TEST(SolutionPool, RestartRefillsWithInfinity) {
+  SolutionPool pool(4, 16);
+  pool.insert(entry_of(vec_with_value(16, 1), -50));
+  Rng rng(5);
+  pool.restart(rng);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.best_energy(), kInfiniteEnergy);
+}
+
+TEST(SolutionPool, RejectsWrongLengthAndBadRank) {
+  SolutionPool pool(2, 16);
+  EXPECT_THROW(pool.insert(entry_of(BitVector(15), -1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)pool.entry(0), std::invalid_argument);
+}
+
+TEST(GeneticOps, RandomHasCorrectLengthAndVariety) {
+  Rng rng(6);
+  const BitVector a = random_bit_vector(257, rng);
+  const BitVector b = random_bit_vector(257, rng);
+  EXPECT_EQ(a.size(), 257u);
+  EXPECT_NE(a, b);
+  // Roughly half ones.
+  EXPECT_NEAR(double(a.count()) / 257.0, 0.5, 0.15);
+}
+
+class GeneticOpFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 256;
+  void SetUp() override {
+    pool_ = std::make_unique<SolutionPool>(4, kN);
+    neighbor_ = std::make_unique<SolutionPool>(4, kN);
+    Rng seed_rng(7);
+    parent_ = random_solution(kN, seed_rng);
+    neighbor_parent_ = random_solution(kN, seed_rng);
+    pool_->insert({parent_, -100, MainSearch::kMaxMin, GeneticOp::kRandom});
+    neighbor_->insert(
+        {neighbor_parent_, -90, MainSearch::kMaxMin, GeneticOp::kRandom});
+  }
+
+  std::unique_ptr<SolutionPool> pool_, neighbor_;
+  BitVector parent_, neighbor_parent_;
+  Rng rng_{8};
+};
+
+TEST_F(GeneticOpFixture, BestReturnsRankZeroUnmodified) {
+  const BitVector t = apply_genetic_op(GeneticOp::kBest, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  EXPECT_EQ(t, parent_);
+}
+
+TEST_F(GeneticOpFixture, MutationFlipsRoughlyPFraction) {
+  const BitVector t = apply_genetic_op(GeneticOp::kMutation, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  const double frac = double(t.hamming_distance(parent_)) / kN;
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.30);  // p = 1/8 nominal
+}
+
+TEST_F(GeneticOpFixture, CrossoverBitsComeFromParents) {
+  // Single distinct parent in the pool: crossover of parent with itself
+  // must reproduce it.
+  const BitVector t = apply_genetic_op(GeneticOp::kCrossover, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  EXPECT_EQ(t, parent_);
+}
+
+TEST_F(GeneticOpFixture, XrossoverMixesPoolAndNeighbor) {
+  const BitVector t = apply_genetic_op(GeneticOp::kXrossover, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(t.get(i) == parent_.get(i) ||
+                t.get(i) == neighbor_parent_.get(i));
+  }
+  // It should actually take bits from both sides (overwhelming probability).
+  EXPECT_NE(t, parent_);
+  EXPECT_NE(t, neighbor_parent_);
+}
+
+TEST_F(GeneticOpFixture, XrossoverWithoutNeighborDegradesToCrossover) {
+  const BitVector t =
+      apply_genetic_op(GeneticOp::kXrossover, kN, *pool_, nullptr, rng_);
+  EXPECT_EQ(t, parent_);  // single-parent pool
+}
+
+TEST_F(GeneticOpFixture, ZeroOnlyClearsBits) {
+  const BitVector t = apply_genetic_op(GeneticOp::kZero, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (t.get(i)) EXPECT_TRUE(parent_.get(i));  // no bit was set
+  }
+  EXPECT_LT(t.count(), parent_.count());
+}
+
+TEST_F(GeneticOpFixture, OneOnlySetsBits) {
+  const BitVector t = apply_genetic_op(GeneticOp::kOne, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (!t.get(i)) EXPECT_FALSE(parent_.get(i));  // no bit was cleared
+  }
+  EXPECT_GT(t.count(), parent_.count());
+}
+
+TEST_F(GeneticOpFixture, IntervalZeroClearsACyclicSegment) {
+  const BitVector t = apply_genetic_op(GeneticOp::kIntervalZero, kN, *pool_,
+                                       neighbor_.get(), rng_);
+  // Bits outside the segment are untouched; inside it they are zero.  We
+  // can't see the segment directly, but: (a) nothing is ever set,
+  // (b) the number of cleared positions is within [32, n/2] of the ones
+  // the parent had in some window — weaker check: count decreased or equal
+  // and changed bits were all ones in the parent.
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (t.get(i) != parent_.get(i)) {
+      EXPECT_TRUE(parent_.get(i));
+      ++changed;
+    }
+  }
+  EXPECT_LE(changed, kN / 2);
+}
+
+TEST_F(GeneticOpFixture, MutateCrossoverProducesValidVector) {
+  const BitVector t = apply_genetic_op(GeneticOp::kMutateCrossover, kN,
+                                       *pool_, neighbor_.get(), rng_);
+  EXPECT_EQ(t.size(), kN);
+  // Based on a single parent + mutation: differs from the parent a little.
+  const double frac = double(t.hamming_distance(parent_)) / kN;
+  EXPECT_LT(frac, 0.3);
+}
+
+TEST(GeneticOps, NamesAreStable) {
+  EXPECT_EQ(to_string(GeneticOp::kXrossover), "Xrossover");
+  EXPECT_EQ(to_string(GeneticOp::kIntervalZero), "IntervalZero");
+  EXPECT_EQ(to_string(GeneticOp::kMutateCrossover), "MutateCrossover");
+}
+
+TEST(AdaptiveSelector, DefaultsCoverFullDiversity) {
+  AdaptiveSelector sel;
+  EXPECT_EQ(sel.allowed_algorithms().size(), kMainSearchCount);
+  EXPECT_EQ(sel.allowed_operations().size(), kDabsGeneticOpCount);
+}
+
+TEST(AdaptiveSelector, ExploitsPoolRecords) {
+  // Pool filled exclusively with PositiveMin/Crossover records and
+  // exploration off: the selector must always return those.
+  SolutionPool pool(8, 16);
+  Rng fill(9);
+  for (int i = 0; i < 8; ++i) {
+    pool.insert({random_solution(16, fill), -i - 1, MainSearch::kPositiveMin,
+                 GeneticOp::kCrossover});
+  }
+  AdaptiveSelector sel(
+      std::vector<MainSearch>(kAllMainSearches.begin(),
+                              kAllMainSearches.end()),
+      std::vector<GeneticOp>(kDabsGeneticOps.begin(), kDabsGeneticOps.end()),
+      /*explore_prob=*/0.0);
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sel.select_algorithm(pool, rng), MainSearch::kPositiveMin);
+    EXPECT_EQ(sel.select_operation(pool, rng), GeneticOp::kCrossover);
+  }
+}
+
+TEST(AdaptiveSelector, ExplorationUsesAllowedSetOnly) {
+  SolutionPool pool(4, 16);
+  Rng fill(11);
+  pool.initialize_random(fill);
+  AdaptiveSelector sel({MainSearch::kCyclicMin},
+                       {GeneticOp::kMutateCrossover},
+                       /*explore_prob=*/1.0);
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sel.select_algorithm(pool, rng), MainSearch::kCyclicMin);
+    EXPECT_EQ(sel.select_operation(pool, rng), GeneticOp::kMutateCrossover);
+  }
+}
+
+TEST(AdaptiveSelector, DisallowedPoolRecordFallsBackToAllowed) {
+  SolutionPool pool(4, 16);
+  Rng fill(13);
+  pool.insert({random_solution(16, fill), -1, MainSearch::kMaxMin,
+               GeneticOp::kZero});
+  AdaptiveSelector sel({MainSearch::kCyclicMin}, {GeneticOp::kCrossover},
+                       /*explore_prob=*/0.0);
+  Rng rng(14);
+  EXPECT_EQ(sel.select_algorithm(pool, rng), MainSearch::kCyclicMin);
+  EXPECT_EQ(sel.select_operation(pool, rng), GeneticOp::kCrossover);
+}
+
+TEST(AdaptiveSelector, RejectsEmptySets) {
+  EXPECT_THROW(AdaptiveSelector({}, {GeneticOp::kRandom}),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveSelector({MainSearch::kMaxMin}, {}),
+               std::invalid_argument);
+}
+
+TEST(IslandRing, NeighborIsCyclic) {
+  MersenneSeeder seeder(15);
+  IslandRing ring(4, 3, 16, seeder);
+  EXPECT_EQ(ring.neighbor_index(0), 1u);
+  EXPECT_EQ(ring.neighbor_index(3), 0u);
+}
+
+TEST(IslandRing, PoolsAreIndependentlyInitialized) {
+  MersenneSeeder seeder(16);
+  IslandRing ring(2, 5, 32, seeder);
+  // Both pools full of +inf random seeds, but different vectors.
+  EXPECT_EQ(ring.pool(0).size(), 5u);
+  EXPECT_NE(ring.pool(0).entry(0).solution, ring.pool(1).entry(0).solution);
+}
+
+TEST(IslandRing, GlobalBestAcrossPools) {
+  MersenneSeeder seeder(17);
+  IslandRing ring(3, 3, 16, seeder);
+  Rng rng(18);
+  ring.pool(1).insert({random_solution(16, rng), -42, MainSearch::kMaxMin,
+                       GeneticOp::kRandom});
+  ring.pool(2).insert({random_solution(16, rng), -17, MainSearch::kMaxMin,
+                       GeneticOp::kRandom});
+  EXPECT_EQ(ring.global_best_energy(), -42);
+}
+
+TEST(IslandRing, MergedDetectsIdenticalBests) {
+  MersenneSeeder seeder(19);
+  IslandRing ring(3, 2, 16, seeder);
+  Rng rng(20);
+  const BitVector x = random_solution(16, rng);
+  EXPECT_FALSE(ring.merged());  // +inf seeds are never "merged"
+  for (std::size_t i = 0; i < 3; ++i) {
+    ring.pool(i).insert({x, -5, MainSearch::kMaxMin, GeneticOp::kRandom});
+  }
+  EXPECT_TRUE(ring.merged());
+  // A differing best in one pool breaks the merge.
+  BitVector y = x;
+  y.flip(0);
+  ring.pool(1).insert({y, -9, MainSearch::kMaxMin, GeneticOp::kRandom});
+  EXPECT_FALSE(ring.merged());
+}
+
+TEST(IslandRing, SinglePoolNeverMerged) {
+  MersenneSeeder seeder(21);
+  IslandRing ring(1, 2, 16, seeder);
+  Rng rng(22);
+  ring.pool(0).insert({random_solution(16, rng), -1, MainSearch::kMaxMin,
+                       GeneticOp::kRandom});
+  EXPECT_FALSE(ring.merged());
+}
+
+TEST(IslandRing, RestartAllClearsEveryPool) {
+  MersenneSeeder seeder(23);
+  IslandRing ring(2, 3, 16, seeder);
+  Rng rng(24);
+  ring.pool(0).insert({random_solution(16, rng), -8, MainSearch::kMaxMin,
+                       GeneticOp::kRandom});
+  ring.restart_all(seeder);
+  EXPECT_EQ(ring.global_best_energy(), kInfiniteEnergy);
+}
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,98 @@
+// Parameterized property sweep over every genetic operation: the uniform
+// contract each op must satisfy regardless of which one the adaptive host
+// happens to select.
+#include <gtest/gtest.h>
+
+#include "ga/genetic_ops.hpp"
+#include "ga/solution_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+constexpr std::array<GeneticOp, kGeneticOpCount> kAllOps = {
+    GeneticOp::kRandom,       GeneticOp::kBest,
+    GeneticOp::kMutation,     GeneticOp::kCrossover,
+    GeneticOp::kXrossover,    GeneticOp::kZero,
+    GeneticOp::kOne,          GeneticOp::kIntervalZero,
+    GeneticOp::kMutateCrossover};
+
+class GeneticOpProperty : public ::testing::TestWithParam<GeneticOp> {
+ protected:
+  static constexpr std::size_t kN = 192;
+
+  void SetUp() override {
+    pool_ = std::make_unique<SolutionPool>(8, kN);
+    neighbor_ = std::make_unique<SolutionPool>(8, kN);
+    Rng fill(101);
+    for (int i = 0; i < 8; ++i) {
+      pool_->insert({testing::random_solution(kN, fill), -100 - i,
+                     MainSearch::kMaxMin, GeneticOp::kRandom});
+      neighbor_->insert({testing::random_solution(kN, fill), -50 - i,
+                         MainSearch::kMaxMin, GeneticOp::kRandom});
+    }
+  }
+
+  std::unique_ptr<SolutionPool> pool_, neighbor_;
+};
+
+TEST_P(GeneticOpProperty, OutputHasRequestedLength) {
+  Rng rng(1);
+  const BitVector t =
+      apply_genetic_op(GetParam(), kN, *pool_, neighbor_.get(), rng);
+  EXPECT_EQ(t.size(), kN);
+}
+
+TEST_P(GeneticOpProperty, DeterministicGivenRngState) {
+  Rng a(42), b(42);
+  const BitVector ta =
+      apply_genetic_op(GetParam(), kN, *pool_, neighbor_.get(), a);
+  const BitVector tb =
+      apply_genetic_op(GetParam(), kN, *pool_, neighbor_.get(), b);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST_P(GeneticOpProperty, DoesNotMutateThePools) {
+  Rng rng(7);
+  const PoolEntry before0 = pool_->entry(0);
+  const PoolEntry before7 = pool_->entry(7);
+  (void)apply_genetic_op(GetParam(), kN, *pool_, neighbor_.get(), rng);
+  EXPECT_EQ(pool_->size(), 8u);
+  EXPECT_EQ(pool_->entry(0).solution, before0.solution);
+  EXPECT_EQ(pool_->entry(7).solution, before7.solution);
+}
+
+TEST_P(GeneticOpProperty, WorksWithSingletonPool) {
+  SolutionPool tiny(1, kN);
+  Rng fill(9);
+  tiny.insert({testing::random_solution(kN, fill), -1, MainSearch::kMaxMin,
+               GeneticOp::kRandom});
+  Rng rng(11);
+  const BitVector t = apply_genetic_op(GetParam(), kN, tiny, nullptr, rng);
+  EXPECT_EQ(t.size(), kN);
+}
+
+TEST_P(GeneticOpProperty, WorksAtTinyBitWidths) {
+  for (const std::size_t n : {1u, 2u, 3u, 63u, 64u, 65u}) {
+    SolutionPool small(2, n);
+    Rng fill(13);
+    small.insert({testing::random_solution(n, fill), -1, MainSearch::kMaxMin,
+                  GeneticOp::kRandom});
+    small.insert({testing::random_solution(n, fill), -2, MainSearch::kMaxMin,
+                  GeneticOp::kRandom});
+    Rng rng(17);
+    const BitVector t = apply_genetic_op(GetParam(), n, small, &small, rng);
+    EXPECT_EQ(t.size(), n) << "n=" << n;
+    // Tail bits beyond n stay clear (count() would otherwise overshoot).
+    EXPECT_LE(t.count(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GeneticOpProperty,
+                         ::testing::ValuesIn(kAllOps),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,89 @@
+// Unit tests for the JSON writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "io/json_writer.hpp"
+
+namespace dabs {
+namespace {
+
+TEST(JsonWriter, SimpleObject) {
+  std::ostringstream out;
+  {
+    io::JsonWriter j(out);
+    j.begin_object()
+        .value("name", "dabs")
+        .value("n", std::int64_t{2000})
+        .value("ok", true)
+        .end_object();
+    EXPECT_TRUE(j.complete());
+  }
+  EXPECT_EQ(out.str(), R"({"name":"dabs","n":2000,"ok":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::ostringstream out;
+  {
+    io::JsonWriter j(out);
+    j.begin_object().begin_array("xs");
+    j.element(std::int64_t{1}).element(std::int64_t{2});
+    j.end_array().begin_object("meta").value("k", "v").end_object();
+    j.end_object();
+  }
+  EXPECT_EQ(out.str(), R"({"xs":[1,2],"meta":{"k":"v"}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(io::JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(io::JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, DestructorClosesOpenScopes) {
+  std::ostringstream out;
+  {
+    io::JsonWriter j(out);
+    j.begin_object().begin_array("xs").element(std::int64_t{1});
+    // forgot end_array / end_object
+  }
+  EXPECT_EQ(out.str(), R"({"xs":[1]})");
+}
+
+TEST(JsonWriter, RejectsKeylessObjectMember) {
+  std::ostringstream out;
+  io::JsonWriter j(out);
+  j.begin_object();
+  EXPECT_THROW(j.element(std::int64_t{1}), std::invalid_argument);
+}
+
+TEST(JsonWriter, RejectsKeyedArrayElement) {
+  std::ostringstream out;
+  io::JsonWriter j(out);
+  j.begin_array();
+  EXPECT_THROW(j.value("k", std::int64_t{1}), std::invalid_argument);
+}
+
+TEST(JsonWriter, RejectsMismatchedScopes) {
+  std::ostringstream out;
+  io::JsonWriter j(out);
+  j.begin_object();
+  EXPECT_THROW(j.end_array(), std::invalid_argument);
+}
+
+TEST(JsonWriter, RejectsNonFiniteDoubles) {
+  std::ostringstream out;
+  io::JsonWriter j(out);
+  j.begin_object();
+  EXPECT_THROW(j.value("x", std::nan("")), std::invalid_argument);
+}
+
+TEST(JsonWriter, RejectsTwoTopLevelValues) {
+  std::ostringstream out;
+  io::JsonWriter j(out);
+  j.begin_object().end_object();
+  EXPECT_THROW(j.begin_object(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dabs

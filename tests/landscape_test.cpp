@@ -1,0 +1,81 @@
+// Tests for the landscape analysis estimators.
+#include <gtest/gtest.h>
+
+#include "analysis/landscape.hpp"
+#include "problems/qap.hpp"
+#include "qubo/qubo_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+TEST(Landscape, RandomEnergyStatsCentersOnExpectation) {
+  // Model with only diagonal weight w on every variable: E = w * popcount,
+  // expectation w*n/2 over uniform random vectors.
+  const int n = 64, w = 2;
+  QuboBuilder b(n);
+  for (VarIndex i = 0; i < n; ++i) b.add_linear(i, w);
+  const QuboModel m = b.build();
+  Rng rng(1);
+  const SummaryStats s = analysis::random_energy_stats(m, 3000, rng);
+  EXPECT_NEAR(s.mean(), w * n / 2.0, 3.0);
+  EXPECT_EQ(s.count(), 3000u);
+}
+
+TEST(Landscape, AutocorrelationStartsAtOneAndDecays) {
+  const QuboModel m = testing::random_model(60, 0.5, 9, 7);
+  Rng rng(2);
+  const auto ac = analysis::random_walk_autocorrelation(m, 8000, 32, rng);
+  ASSERT_EQ(ac.rho.size(), 33u);
+  EXPECT_DOUBLE_EQ(ac.rho[0], 1.0);
+  // One flip changes few terms: lag-1 correlation must stay high.
+  EXPECT_GT(ac.rho[1], 0.5);
+  // Far lags decorrelate.
+  EXPECT_LT(ac.rho[32], ac.rho[1]);
+  EXPECT_GE(ac.correlation_length, 1u);
+  EXPECT_LE(ac.correlation_length, 32u);
+}
+
+TEST(Landscape, FlatLandscapeHasMaximalCorrelationLength) {
+  // All-zero model: the walk never changes energy.
+  const QuboModel m = QuboBuilder(16).build();
+  Rng rng(3);
+  const auto ac = analysis::random_walk_autocorrelation(m, 500, 8, rng);
+  EXPECT_EQ(ac.correlation_length, 8u);
+}
+
+TEST(Landscape, LocalMinimaSampleOnConvexModel) {
+  // Positive diagonal only: the unique local minimum is the zero vector.
+  QuboBuilder b(20);
+  for (VarIndex i = 0; i < 20; ++i) b.add_linear(i, 3);
+  const QuboModel m = b.build();
+  Rng rng(4);
+  const auto s = analysis::sample_local_minima(m, 50, rng);
+  EXPECT_EQ(s.distinct_minima, 1u);
+  EXPECT_EQ(s.best, 0);
+  EXPECT_DOUBLE_EQ(s.best_basin_share, 1.0);
+  EXPECT_DOUBLE_EQ(s.energies.mean(), 0.0);
+}
+
+TEST(Landscape, QapLandscapeIsMoreFragmentedThanConvex) {
+  const auto qap =
+      problems::qap_to_qubo(problems::make_grid_qap(2, 3, 10, 5, "g"));
+  Rng rng(5);
+  const auto s = analysis::sample_local_minima(qap.model, 60, rng);
+  EXPECT_GT(s.distinct_minima, 5u);  // many isolated minima (paper §II-B)
+  EXPECT_EQ(s.restarts, 60u);
+}
+
+TEST(Landscape, ParameterValidation) {
+  const QuboModel m = testing::random_model(10, 0.5, 3, 6);
+  Rng rng(6);
+  EXPECT_THROW((void)analysis::random_energy_stats(m, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)analysis::random_walk_autocorrelation(m, 10, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)analysis::sample_local_minima(m, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dabs

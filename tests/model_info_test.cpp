@@ -1,0 +1,108 @@
+// Tests for model analysis and the parallel campaign runner.
+#include <gtest/gtest.h>
+
+#include "baseline/exhaustive.hpp"
+#include "core/parallel_campaign.hpp"
+#include "qubo/model_info.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_model;
+
+TEST(ModelInfo, BasicStatisticsOnHandBuiltModel) {
+  QuboBuilder b(5);
+  b.add_quadratic(0, 1, 3).add_quadratic(1, 2, -2).add_linear(0, -7);
+  // Variables 3, 4 are isolated (no couplings, zero diagonal).
+  const QuboModel m = b.build();
+  const ModelInfo info = analyze_model(m);
+  EXPECT_EQ(info.variables, 5u);
+  EXPECT_EQ(info.couplings, 2u);
+  EXPECT_EQ(info.min_degree, 0u);
+  EXPECT_EQ(info.max_degree, 2u);
+  EXPECT_EQ(info.isolated_variables, 2u);
+  EXPECT_EQ(info.min_weight, -7);
+  EXPECT_EQ(info.max_weight, 3);
+  EXPECT_EQ(info.energy_scale, 7 + 3 + 2);
+  // Components: {0,1,2}, {3}, {4}.
+  EXPECT_EQ(info.components, 3u);
+}
+
+TEST(ModelInfo, DensityOfCompleteGraphIsOne) {
+  const QuboModel m = random_model(12, 1.0, 1, 77);  // weights ±1, no zeros?
+  const ModelInfo info = analyze_model(m);
+  // Some couplings may have drawn weight 0 and been dropped; density <= 1.
+  EXPECT_LE(info.density, 1.0);
+  EXPECT_GT(info.density, 0.5);
+  EXPECT_EQ(info.components, 1u);
+}
+
+TEST(ModelInfo, DescribeMentionsEveryBlock) {
+  const QuboModel m = random_model(10, 0.5, 5, 78);
+  const std::string s = describe_model(analyze_model(m));
+  EXPECT_NE(s.find("variables"), std::string::npos);
+  EXPECT_NE(s.find("couplings"), std::string::npos);
+  EXPECT_NE(s.find("degree"), std::string::npos);
+  EXPECT_NE(s.find("structure"), std::string::npos);
+}
+
+TEST(ModelInfo, SingleVariableModel) {
+  QuboBuilder b(1);
+  b.add_linear(0, 5);
+  const ModelInfo info = analyze_model(b.build());
+  EXPECT_EQ(info.variables, 1u);
+  EXPECT_EQ(info.couplings, 0u);
+  EXPECT_EQ(info.components, 1u);
+  EXPECT_EQ(info.isolated_variables, 0u);  // non-zero diagonal counts
+}
+
+TEST(ParallelCampaign, AggregatesMatchTrialCount) {
+  const QuboModel m = random_model(14, 0.6, 9, 79);
+  const Energy truth = ExhaustiveSolver().solve(m).best_energy;
+  SolverConfig base;
+  base.devices = 2;
+  base.device.blocks = 1;
+  base.stop.max_batches = 250;
+  base.seed = 3;
+  const ParallelCampaign camp(base, 8, 4);
+  const CampaignResult r = camp.run(m, truth);
+  EXPECT_EQ(r.runs, 8u);
+  EXPECT_EQ(r.final_energies.size(), 8u);
+  EXPECT_EQ(r.best_energy, truth);
+  EXPECT_GT(r.successes, 0u);
+}
+
+TEST(ParallelCampaign, MatchesSerialCampaignStatistics) {
+  // Same seeds + synchronous trials => identical per-trial outcomes, just
+  // computed concurrently.
+  const QuboModel m = random_model(16, 0.5, 9, 80);
+  SolverConfig base;
+  base.devices = 2;
+  base.device.blocks = 1;
+  base.mode = ExecutionMode::kSynchronous;
+  base.stop.max_batches = 100;
+  base.seed = 11;
+  const Energy target = -1;  // something most trials reach
+
+  const CampaignResult serial = Campaign(base, 6).run(m, target);
+  const CampaignResult parallel = ParallelCampaign(base, 6, 3).run(m, target);
+  // Energies are per-trial deterministic; order is preserved by index.
+  EXPECT_EQ(serial.final_energies, parallel.final_energies);
+  EXPECT_EQ(serial.successes, parallel.successes);
+  EXPECT_EQ(serial.best_energy, parallel.best_energy);
+}
+
+TEST(ParallelCampaign, SingleThreadDegradesGracefully) {
+  const QuboModel m = random_model(10, 0.5, 5, 81);
+  SolverConfig base;
+  base.devices = 1;
+  base.device.blocks = 1;
+  base.stop.max_batches = 20;
+  const ParallelCampaign camp(base, 2, 0);  // 0 threads -> 1
+  const CampaignResult r = camp.run(m, -1);
+  EXPECT_EQ(r.runs, 2u);
+}
+
+}  // namespace
+}  // namespace dabs

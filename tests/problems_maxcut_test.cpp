@@ -1,0 +1,136 @@
+// Tests for the MaxCut reduction and instance generators (paper §II-A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "baseline/exhaustive.hpp"
+#include "problems/maxcut.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+namespace pr = problems;
+
+pr::MaxCutInstance tiny_instance() {
+  // Triangle with weights 1, 2, -1 plus a pendant edge.
+  pr::MaxCutInstance inst;
+  inst.n = 4;
+  inst.name = "tiny";
+  inst.edges = {{0, 1, 1}, {1, 2, 2}, {0, 2, -1}, {2, 3, 3}};
+  return inst;
+}
+
+TEST(MaxCut, CutValueCountsCrossingEdges) {
+  const auto inst = tiny_instance();
+  // Partition {0,2} vs {1,3}: crossing edges (0,1)=1, (1,2)=2, (2,3)=3.
+  const BitVector part = BitVector::from_string("0101");
+  EXPECT_EQ(inst.cut_value(part), 1 + 2 + 3);
+  // All on one side: nothing crosses.
+  EXPECT_EQ(inst.cut_value(BitVector(4)), 0);
+}
+
+TEST(MaxCut, EnergyEqualsNegativeCutForAllAssignments) {
+  const auto inst = tiny_instance();
+  const QuboModel m = pr::maxcut_to_qubo(inst);
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    BitVector x(4);
+    for (int i = 0; i < 4; ++i) x.set(i, (bits >> i) & 1);
+    EXPECT_EQ(m.energy(x), -inst.cut_value(x)) << "bits=" << bits;
+  }
+}
+
+TEST(MaxCut, RandomInstancePropertyEnergyIsNegativeCut) {
+  const auto inst = pr::make_random_maxcut(
+      30, 60, pr::EdgeWeights::kPlusMinusOne, 99, "prop");
+  const QuboModel m = pr::maxcut_to_qubo(inst);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVector x = testing::random_solution(30, rng);
+    EXPECT_EQ(m.energy(x), -inst.cut_value(x));
+  }
+}
+
+TEST(MaxCut, OptimumMatchesExhaustiveSearch) {
+  const auto inst =
+      pr::make_random_maxcut(12, 30, pr::EdgeWeights::kPlusMinusOne, 7, "x");
+  const QuboModel m = pr::maxcut_to_qubo(inst);
+  const BaselineResult r = ExhaustiveSolver().solve(m);
+  // Maximum cut by brute force over partitions.
+  Energy best_cut = 0;
+  for (std::uint64_t bits = 0; bits < (1u << 12); ++bits) {
+    BitVector x(12);
+    for (int i = 0; i < 12; ++i) x.set(i, (bits >> i) & 1);
+    best_cut = std::max(best_cut, inst.cut_value(x));
+  }
+  EXPECT_EQ(-r.best_energy, best_cut);
+}
+
+TEST(MaxCut, GeneratorProducesExactEdgeCount) {
+  const auto inst =
+      pr::make_random_maxcut(100, 500, pr::EdgeWeights::kPlusOne, 3, "gen");
+  EXPECT_EQ(inst.n, 100u);
+  EXPECT_EQ(inst.edges.size(), 500u);
+  // No duplicates, no self loops, weights all +1.
+  std::set<std::pair<VarIndex, VarIndex>> seen;
+  for (const auto& e : inst.edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_EQ(e.w, 1);
+    EXPECT_TRUE(seen.insert({std::min(e.u, e.v), std::max(e.u, e.v)}).second);
+  }
+}
+
+TEST(MaxCut, GeneratorIsDeterministicInSeed) {
+  const auto a =
+      pr::make_random_maxcut(50, 100, pr::EdgeWeights::kPlusMinusOne, 5, "a");
+  const auto b =
+      pr::make_random_maxcut(50, 100, pr::EdgeWeights::kPlusMinusOne, 5, "b");
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].u, b.edges[i].u);
+    EXPECT_EQ(a.edges[i].v, b.edges[i].v);
+    EXPECT_EQ(a.edges[i].w, b.edges[i].w);
+  }
+}
+
+TEST(MaxCut, CompleteGraphHasAllPairs) {
+  const auto inst = pr::make_complete_maxcut(20, 1, "K20");
+  EXPECT_EQ(inst.edges.size(), 20u * 19 / 2);
+  int plus = 0, minus = 0;
+  for (const auto& e : inst.edges) {
+    EXPECT_TRUE(e.w == 1 || e.w == -1);
+    (e.w == 1 ? plus : minus)++;
+  }
+  EXPECT_GT(plus, 0);
+  EXPECT_GT(minus, 0);
+}
+
+TEST(MaxCut, PublishedInstanceShapes) {
+  const auto k2000 = pr::make_k2000();
+  EXPECT_EQ(k2000.n, 2000u);
+  EXPECT_EQ(k2000.edges.size(), 2000u * 1999 / 2);
+  EXPECT_EQ(k2000.name, "K2000");
+
+  const auto g22 = pr::make_g22_like();
+  EXPECT_EQ(g22.n, 2000u);
+  EXPECT_EQ(g22.edges.size(), 19990u);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(g22.edges[i].w, 1);
+
+  const auto g39 = pr::make_g39_like();
+  EXPECT_EQ(g39.n, 2000u);
+  EXPECT_EQ(g39.edges.size(), 11778u);
+}
+
+TEST(MaxCut, ReductionRejectsBadInstances) {
+  pr::MaxCutInstance inst;
+  inst.n = 2;
+  inst.edges = {{0, 0, 1}};
+  EXPECT_THROW((void)pr::maxcut_to_qubo(inst), std::invalid_argument);
+  inst.edges = {{0, 5, 1}};
+  EXPECT_THROW((void)pr::maxcut_to_qubo(inst), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dabs

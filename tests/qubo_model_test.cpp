@@ -1,0 +1,211 @@
+// Unit + property tests for the QUBO model, builder, and Ising conversion.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "qubo/conversion.hpp"
+#include "qubo/ising_model.hpp"
+#include "qubo/qubo_builder.hpp"
+#include "qubo/qubo_model.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::naive_energy;
+using testing::random_model;
+using testing::random_solution;
+
+TEST(QuboBuilder, AccumulatesDuplicateTerms) {
+  QuboBuilder b(3);
+  b.add_quadratic(0, 1, 2).add_quadratic(1, 0, 3);  // same edge, both orders
+  b.add_linear(2, 5).add_linear(2, -1);
+  const QuboModel m = b.build();
+  EXPECT_EQ(m.weight(0, 1), 5);
+  EXPECT_EQ(m.weight(1, 0), 5);
+  EXPECT_EQ(m.diag(2), 4);
+  EXPECT_EQ(m.edge_count(), 1u);
+}
+
+TEST(QuboBuilder, DropsZeroCouplings) {
+  QuboBuilder b(2);
+  b.add_quadratic(0, 1, 7).add_quadratic(0, 1, -7);
+  const QuboModel m = b.build();
+  EXPECT_EQ(m.edge_count(), 0u);
+  EXPECT_EQ(m.weight(0, 1), 0);
+}
+
+TEST(QuboBuilder, RejectsInvalidIndices) {
+  QuboBuilder b(2);
+  EXPECT_THROW(b.add_linear(2, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_quadratic(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_quadratic(1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(QuboBuilder(0), std::invalid_argument);
+}
+
+TEST(QuboModel, CsrIsSymmetric) {
+  const QuboModel m = random_model(20, 0.4, 5, 11);
+  for (VarIndex i = 0; i < m.size(); ++i) {
+    const auto nbrs = m.neighbors(i);
+    for (std::size_t t = 0; t < nbrs.size(); ++t) {
+      EXPECT_EQ(m.weight(nbrs[t], i), m.weights(i)[t]);
+    }
+  }
+}
+
+TEST(QuboModel, DegreeAndMaxDegree) {
+  QuboBuilder b(4);
+  b.add_quadratic(0, 1, 1).add_quadratic(0, 2, 1).add_quadratic(0, 3, 1);
+  const QuboModel m = b.build();
+  EXPECT_EQ(m.degree(0), 3u);
+  EXPECT_EQ(m.degree(1), 1u);
+  EXPECT_EQ(m.max_degree(), 3u);
+}
+
+TEST(QuboModel, EnergyOfZeroAndOnesVectors) {
+  QuboBuilder b(3);
+  b.add_linear(0, 1).add_linear(1, 2).add_linear(2, 3);
+  b.add_quadratic(0, 1, 10).add_quadratic(1, 2, -4);
+  const QuboModel m = b.build();
+  BitVector zero(3), ones(3);
+  ones.fill(true);
+  EXPECT_EQ(m.energy(zero), 0);
+  EXPECT_EQ(m.energy(ones), 1 + 2 + 3 + 10 - 4);
+}
+
+TEST(QuboModel, EnergyRejectsWrongLength) {
+  const QuboModel m = random_model(5, 0.5, 3, 1);
+  EXPECT_THROW((void)m.energy(BitVector(4)), std::invalid_argument);
+}
+
+// Property sweep: energy() and delta() agree with naive references across
+// sizes and densities.
+class QuboModelProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(QuboModelProperty, EnergyMatchesNaive) {
+  const auto [n, density] = GetParam();
+  const QuboModel m = random_model(n, density, 9, 100 + n);
+  Rng rng(n * 31 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector x = random_solution(n, rng);
+    EXPECT_EQ(m.energy(x), naive_energy(m, x));
+  }
+}
+
+TEST_P(QuboModelProperty, DeltaMatchesEnergyDifference) {
+  const auto [n, density] = GetParam();
+  const QuboModel m = random_model(n, density, 9, 200 + n);
+  Rng rng(n * 37 + 5);
+  for (int trial = 0; trial < 5; ++trial) {
+    BitVector x = random_solution(n, rng);
+    const Energy e = m.energy(x);
+    for (VarIndex k = 0; k < m.size(); ++k) {
+      BitVector fx = x;
+      fx.flip(k);
+      EXPECT_EQ(m.delta(x, k), m.energy(fx) - e)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_P(QuboModelProperty, DeltaAllMatchesPerBitDelta) {
+  const auto [n, density] = GetParam();
+  const QuboModel m = random_model(n, density, 9, 300 + n);
+  Rng rng(n * 41 + 3);
+  const BitVector x = random_solution(n, rng);
+  std::vector<Energy> all;
+  m.delta_all(x, all);
+  ASSERT_EQ(all.size(), m.size());
+  for (VarIndex k = 0; k < m.size(); ++k) {
+    EXPECT_EQ(all[k], m.delta(x, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuboModelProperty,
+    ::testing::Combine(::testing::Values(2, 3, 8, 17, 40, 64, 65),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+TEST(QuboModel, FlipBoundDominatesDelta) {
+  const QuboModel m = random_model(30, 0.5, 7, 55);
+  Rng rng(9);
+  const BitVector x = random_solution(30, rng);
+  for (VarIndex k = 0; k < m.size(); ++k) {
+    EXPECT_LE(std::abs(m.delta(x, k)), m.flip_bound(k));
+  }
+}
+
+TEST(QuboModel, DescribeMentionsSizeAndDensity) {
+  const QuboModel dense = random_model(10, 1.0, 3, 2);
+  EXPECT_NE(dense.describe().find("n=10"), std::string::npos);
+  EXPECT_NE(dense.describe().find("dense"), std::string::npos);
+  const QuboModel sparse = random_model(50, 0.05, 3, 2);
+  EXPECT_NE(sparse.describe().find("sparse"), std::string::npos);
+}
+
+TEST(IsingModel, HamiltonianDirectEvaluation) {
+  IsingModel ising(3);
+  ising.add_coupling(0, 1, 2);
+  ising.add_coupling(1, 2, -1);
+  ising.set_bias(0, 3);
+  // S = (+1, -1, +1): H = 2*(+1)(-1) + (-1)(-1)(+1) + 3*(+1) = -2+1+3 = 2.
+  EXPECT_EQ(ising.hamiltonian({1, -1, 1}), 2);
+}
+
+TEST(IsingModel, RejectsBadSpins) {
+  IsingModel ising(2);
+  EXPECT_THROW((void)ising.hamiltonian({1, 0}), std::invalid_argument);
+  EXPECT_THROW((void)ising.hamiltonian({1}), std::invalid_argument);
+  EXPECT_THROW(ising.add_coupling(0, 0, 1), std::invalid_argument);
+}
+
+// Ising <-> QUBO equivalence: H(S) = E(X) + offset for every assignment.
+class ConversionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConversionProperty, HamiltonianEqualsEnergyPlusOffset) {
+  const int n = GetParam();
+  Rng rng(n * 7 + 13);
+  IsingModel ising(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.next_bernoulli(0.6)) {
+        ising.add_coupling(i, j,
+                           static_cast<Weight>(rng.next_index(9)) - 4);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    ising.set_bias(i, static_cast<Weight>(rng.next_index(9)) - 4);
+  }
+  const auto [qubo, offset] = ising_to_qubo(ising);
+
+  // Exhaustive over all 2^n assignments.
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    BitVector x(n);
+    std::vector<int> s(n);
+    for (int i = 0; i < n; ++i) {
+      const bool v = (bits >> i) & 1;
+      x.set(i, v);
+      s[i] = v ? 1 : -1;
+    }
+    EXPECT_EQ(ising.hamiltonian(s), qubo.energy(x) + offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConversionProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+TEST(Conversion, SpinBinaryRoundTrip) {
+  Rng rng(3);
+  const BitVector x = random_solution(67, rng);
+  EXPECT_EQ(to_binary(to_spins(x)), x);
+}
+
+TEST(Conversion, SigmaMapping) {
+  EXPECT_EQ(sigma(false), -1);
+  EXPECT_EQ(sigma(true), 1);
+}
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,142 @@
+// Unit tests for rng: Xorshift64Star, MersenneSeeder, cube-weighted rank.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/seeder.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dabs {
+namespace {
+
+TEST(Xorshift, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xorshift, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xorshift, ZeroSeedIsRemapped) {
+  Rng z(0);
+  EXPECT_NE(z.state(), 0u);
+  EXPECT_NE(z(), 0u);  // would be stuck at zero otherwise
+}
+
+TEST(Xorshift, NextIndexInBounds) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000003ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_index(bound), bound);
+    }
+  }
+}
+
+TEST(Xorshift, NextIndexOfOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_index(1), 0u);
+}
+
+TEST(Xorshift, NextIndexCoversRange) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_index(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xorshift, NextUnitInHalfOpenUnitInterval) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xorshift, NextUnitRoughlyUniform) {
+  Rng rng(77);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_unit();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xorshift, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Xorshift, BernoulliApproximatesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bernoulli(0.125);
+  EXPECT_NEAR(double(hits) / n, 0.125, 0.01);
+}
+
+TEST(Xorshift, NextBitBalanced) {
+  Rng rng(21);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += rng.next_bit();
+  EXPECT_NEAR(double(ones) / n, 0.5, 0.01);
+}
+
+TEST(Seeder, DeterministicFanOut) {
+  MersenneSeeder a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_seed(), b.next_seed());
+}
+
+TEST(Seeder, SeedsAreDistinct) {
+  MersenneSeeder s(7);
+  const auto seeds = s.seeds(256);
+  const std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+}
+
+TEST(Seeder, NextRngStreamsDiffer) {
+  MersenneSeeder s(9);
+  Rng a = s.next_rng();
+  Rng b = s.next_rng();
+  EXPECT_NE(a(), b());
+}
+
+TEST(CubeRank, AlwaysInRange) {
+  Rng rng(11);
+  for (std::size_t m : {1u, 2u, 5u, 100u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(cube_weighted_rank(rng, m), m);
+    }
+  }
+}
+
+TEST(CubeRank, PrefersLowRanks) {
+  // floor(r^3 * m): rank 0 has probability (1/m)^{1/3}, far above 1/m.
+  Rng rng(13);
+  const std::size_t m = 100;
+  int zeros = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) zeros += cube_weighted_rank(rng, m) == 0;
+  const double p0 = double(zeros) / n;
+  EXPECT_NEAR(p0, std::pow(1.0 / m, 1.0 / 3.0), 0.02);  // ~0.215
+  EXPECT_GT(p0, 10.0 / m);                              // >> uniform
+}
+
+TEST(CubeRank, RejectsEmptyPool) {
+  Rng rng(1);
+  EXPECT_THROW((void)cube_weighted_rank(rng, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dabs

@@ -1,0 +1,56 @@
+// Shared helpers for the test suite: random model generators and naive
+// reference implementations used to cross-check the incremental machinery.
+#pragma once
+
+#include <vector>
+
+#include "qubo/qubo_builder.hpp"
+#include "qubo/qubo_model.hpp"
+#include "rng/xorshift.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs::testing {
+
+/// Random QUBO: every pair is an edge with probability `density`; weights
+/// uniform in [-max_w, max_w] (zeros dropped by the builder), diagonals in
+/// the same range.
+inline QuboModel random_model(std::size_t n, double density, int max_w,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  QuboBuilder b(n);
+  auto w = [&]() {
+    return static_cast<Weight>(
+        static_cast<long long>(rng.next_index(2 * max_w + 1)) - max_w);
+  };
+  for (VarIndex i = 0; i < n; ++i) b.add_linear(i, w());
+  for (VarIndex i = 0; i + 1 < n; ++i) {
+    for (VarIndex j = i + 1; j < n; ++j) {
+      if (rng.next_unit() < density) b.add_quadratic(i, j, w());
+    }
+  }
+  return b.build();
+}
+
+/// Naive O(n^2) evaluation of Eq. 2 straight off the weight accessor;
+/// deliberately independent of QuboModel::energy's CSR loop.
+inline Energy naive_energy(const QuboModel& m, const BitVector& x) {
+  Energy e = 0;
+  const auto n = static_cast<VarIndex>(m.size());
+  for (VarIndex i = 0; i < n; ++i) {
+    if (!x.get(i)) continue;
+    e += m.diag(i);
+    for (VarIndex j = i + 1; j < n; ++j) {
+      if (x.get(j)) e += m.weight(i, j);
+    }
+  }
+  return e;
+}
+
+/// Random solution vector from `rng`.
+inline BitVector random_solution(std::size_t n, Rng& rng) {
+  BitVector x(n);
+  for (std::size_t i = 0; i < n; ++i) x.set(i, rng.next_bit());
+  return x;
+}
+
+}  // namespace dabs::testing

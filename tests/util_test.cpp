@@ -1,0 +1,212 @@
+// Unit tests for util: BitVector, Histogram, SummaryStats, ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "rng/xorshift.hpp"
+#include "util/bit_vector.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dabs {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v(100);
+  v.set(3, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_FALSE(v.flip(3));
+  EXPECT_TRUE(v.flip(5));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_FALSE(v.get(3));
+  EXPECT_TRUE(v.get(5));
+}
+
+TEST(BitVector, FillAndClearRespectTail) {
+  BitVector v(70);  // 6 bits used in the second word
+  v.fill(true);
+  EXPECT_EQ(v.count(), 70u);
+  // Tail bits beyond n must be masked so count/equality stay exact.
+  EXPECT_EQ(v.words()[1] >> 6, 0u);
+  v.clear();
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, EqualityIgnoresNothing) {
+  BitVector a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.set(64, true);
+  EXPECT_NE(a, b);
+  b.set(64, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, HammingDistance) {
+  BitVector a(128), b(128);
+  EXPECT_EQ(a.hamming_distance(b), 0u);
+  a.set(0, true);
+  a.set(127, true);
+  b.set(127, true);
+  b.set(63, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);  // bits 0 and 63 differ
+}
+
+TEST(BitVector, HammingDistanceLengthMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW((void)a.hamming_distance(b), std::invalid_argument);
+}
+
+TEST(BitVector, FirstDifference) {
+  BitVector a(100), b(100);
+  EXPECT_EQ(a.first_difference(b), 100u);
+  b.set(77, true);
+  EXPECT_EQ(a.first_difference(b), 77u);
+  b.set(5, true);
+  EXPECT_EQ(a.first_difference(b), 5u);
+}
+
+TEST(BitVector, StringRoundTrip) {
+  const std::string s = "0110010111010001";
+  const BitVector v = BitVector::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count(), 8u);
+}
+
+TEST(BitVector, FromStringRejectsNonBinary) {
+  EXPECT_THROW(BitVector::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVector, HashDiffersForDifferentContent) {
+  BitVector a(256), b(256);
+  b.set(200, true);
+  EXPECT_NE(a.hash(), b.hash());
+  // Length participates in the hash too.
+  BitVector c(255);
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(BitVector, HashStableAcrossCopies) {
+  Rng rng(7);
+  BitVector a(301);
+  for (std::size_t i = 0; i < a.size(); ++i) a.set(i, rng.next_bit());
+  const BitVector b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Histogram, BinsCoverHalfOpenRanges) {
+  Histogram h(0.0, 2.0, 0.1);  // paper Fig. 5 style bins
+  EXPECT_EQ(h.bin_count(), 20u);
+  h.add(0.0);    // [0.0, 0.1)
+  h.add(0.099);  // [0.0, 0.1)
+  h.add(0.1);    // [0.1, 0.2)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(1.0, 2.0, 0.5);
+  h.add(0.5);
+  h.add(2.0);  // hi edge belongs to overflow
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinLabelsAreLeftEdges) {
+  Histogram h(0.0, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.75);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 0.1), std::invalid_argument);
+}
+
+TEST(Histogram, TableRendersEveryBin) {
+  Histogram h(0.0, 1.0, 0.5);
+  h.add(0.1);
+  const std::string t = h.to_table();
+  EXPECT_NE(t.find("0.0"), std::string::npos);
+  EXPECT_NE(t.find("0.5"), std::string::npos);
+}
+
+TEST(SummaryStats, MatchesDirectComputation) {
+  SummaryStats s;
+  const double xs[] = {1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  // Sample variance: sum((x-4)^2)/4 = (9+4+1+0+36)/4 = 12.5
+  EXPECT_NEAR(s.variance(), 12.5, 1e-12);
+}
+
+TEST(SummaryStats, EmptyAndSingleSample) {
+  SummaryStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    counter.fetch_add(1);
+    pool.submit([&] { counter.fetch_add(1); });
+  });
+  // wait_idle covers nested submissions because active_ stays > 0 while the
+  // outer task runs.
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace dabs
