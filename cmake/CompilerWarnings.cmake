@@ -1,0 +1,17 @@
+# Defines the dabs_warnings interface target carrying the project's warning
+# flags.  Every compiled target links it PRIVATE so the flags never leak to
+# consumers.  DABS_WARNINGS_AS_ERRORS upgrades warnings to errors.
+
+add_library(dabs_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(dabs_warnings INTERFACE /W4)
+  if(DABS_WARNINGS_AS_ERRORS)
+    target_compile_options(dabs_warnings INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(dabs_warnings INTERFACE -Wall -Wextra)
+  if(DABS_WARNINGS_AS_ERRORS)
+    target_compile_options(dabs_warnings INTERFACE -Werror)
+  endif()
+endif()

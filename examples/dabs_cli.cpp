@@ -4,8 +4,7 @@
 //
 //   $ ./dabs_cli --format qubo model.txt --time-limit 5
 //   $ ./dabs_cli --format gset G22 --solver abs --json
-//   $ ./dabs_cli --format qaplib nug30.dat --devices 4 --blocks 4 \
-//                --s 0.1 --b 1.0 --save-solution best.sol
+//   $ ./dabs_cli --format qaplib nug30.dat --devices 4 --s 0.1 --b 1.0
 //
 // Exit status: 0 on success, 2 on usage errors.
 #include <iostream>

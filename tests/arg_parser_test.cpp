@@ -77,5 +77,68 @@ TEST(ArgParser, HasMarksQueried) {
   EXPECT_TRUE(a.unused().empty());
 }
 
+// --- error paths ---------------------------------------------------------
+
+TEST(ArgParserErrors, UnknownFlagsReportedSorted) {
+  const auto a = parse({"prog", "--zeta", "1", "--alpha", "2", "--n", "3"});
+  (void)a.get_int("n", 0);
+  // std::map keeps options_ ordered, so unused() is sorted by name.
+  EXPECT_EQ(a.unused(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(ArgParserErrors, MissingValueAtEndBecomesFlag) {
+  // "--n" with no following token parses as a boolean flag; typed access
+  // then rejects the implicit "true" with a readable error.
+  const auto a = parse({"prog", "--n"});
+  EXPECT_TRUE(a.get_bool("n"));
+  EXPECT_THROW((void)a.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("n", 0), std::invalid_argument);
+}
+
+TEST(ArgParserErrors, MissingValueBeforeAnotherOption) {
+  const auto a = parse({"prog", "--n", "--m", "3"});
+  EXPECT_TRUE(a.get_bool("n"));
+  EXPECT_THROW((void)a.get_int("n", 0), std::invalid_argument);
+  EXPECT_EQ(a.get_int("m", 0), 3);
+}
+
+TEST(ArgParserErrors, EmptyEqualsValueRejectedByTypedAccessors) {
+  const auto a = parse({"prog", "--n="});
+  EXPECT_EQ(a.get("n", "fallback"), "");
+  EXPECT_THROW((void)a.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)a.get_double("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)a.get_bool("n"), std::invalid_argument);
+}
+
+TEST(ArgParserErrors, DuplicateFlagLastOneWins) {
+  const auto a = parse({"prog", "--n", "1", "--n=2", "--n", "3"});
+  EXPECT_EQ(a.get_int("n", 0), 3);
+  EXPECT_TRUE(a.unused().empty());
+}
+
+TEST(ArgParserErrors, DuplicateMixedFlagAndValue) {
+  // A later bare flag overwrites an earlier value form.
+  const auto a = parse({"prog", "--n", "7", "--n"});
+  EXPECT_TRUE(a.get_bool("n"));
+  EXPECT_THROW((void)a.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(ArgParserErrors, NegativeNumberIsAValueNotAFlag) {
+  const auto a = parse({"prog", "--n", "-5"});
+  EXPECT_EQ(a.get_int("n", 0), -5);
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(ArgParserErrors, ErrorMessageNamesTheOption) {
+  const auto a = parse({"prog", "--count", "abc"});
+  try {
+    (void)a.get_int("count", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace dabs

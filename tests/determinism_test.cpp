@@ -68,6 +68,30 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SolverDeterminism,
                            return std::string(to_string(info.param));
                          });
 
+TEST(SolverDeterminismMisc, SynchronousSolveResultBitIdentical64Var) {
+  // Full adaptive portfolio (every algorithm, every genetic op) on a
+  // 64-variable random model: two synchronous runs with the same seed must
+  // agree on every field of SolveResult, not just the best energy.
+  const QuboModel m = random_model(64, 0.3, 9, 11004);
+  SolverConfig c;
+  c.devices = 3;
+  c.device.blocks = 2;
+  c.mode = ExecutionMode::kSynchronous;
+  c.stop.max_batches = 120;
+  c.seed = 0xD1CED1CE;
+  const SolveResult a = DabsSolver(c).solve(m);
+  const SolveResult b = DabsSolver(c).solve(m);
+  EXPECT_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.best_solution, b.best_solution);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.reached_target, b.reached_target);
+  EXPECT_EQ(a.stats.algo_executed, b.stats.algo_executed);
+  EXPECT_EQ(a.stats.op_executed, b.stats.op_executed);
+  EXPECT_EQ(a.stats.improvements.size(), b.stats.improvements.size());
+  EXPECT_EQ(m.energy(a.best_solution), a.best_energy);
+}
+
 TEST(SolverDeterminismMisc, WarmStartDoesNotBreakReproducibility) {
   const QuboModel m = random_model(20, 0.5, 9, 11002);
   Rng rng(5);

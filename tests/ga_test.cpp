@@ -200,7 +200,9 @@ TEST_F(GeneticOpFixture, ZeroOnlyClearsBits) {
   const BitVector t = apply_genetic_op(GeneticOp::kZero, kN, *pool_,
                                        neighbor_.get(), rng_);
   for (std::size_t i = 0; i < kN; ++i) {
-    if (t.get(i)) EXPECT_TRUE(parent_.get(i));  // no bit was set
+    if (t.get(i)) {
+      EXPECT_TRUE(parent_.get(i));  // no bit was set
+    }
   }
   EXPECT_LT(t.count(), parent_.count());
 }
@@ -209,7 +211,9 @@ TEST_F(GeneticOpFixture, OneOnlySetsBits) {
   const BitVector t = apply_genetic_op(GeneticOp::kOne, kN, *pool_,
                                        neighbor_.get(), rng_);
   for (std::size_t i = 0; i < kN; ++i) {
-    if (!t.get(i)) EXPECT_FALSE(parent_.get(i));  // no bit was cleared
+    if (!t.get(i)) {
+      EXPECT_FALSE(parent_.get(i));  // no bit was cleared
+    }
   }
   EXPECT_GT(t.count(), parent_.count());
 }

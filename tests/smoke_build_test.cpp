@@ -1,0 +1,29 @@
+// Build-level smoke test: tests/CMakeLists.txt generates one translation
+// unit per public header under src/, each of which includes exactly that
+// header first (so the header must be self-contained), includes it twice
+// (so it must be include-guarded), and registers itself below.  If any
+// header stops compiling standalone, this target fails to build; the
+// runtime assertion catches generation/wiring drift.
+#include <gtest/gtest.h>
+
+#ifndef DABS_SMOKE_EXPECTED_HEADERS
+#error "smoke_build_test must be built through tests/CMakeLists.txt"
+#endif
+
+int& dabs_smoke_header_count() {
+  static int count = 0;
+  return count;
+}
+
+int dabs_smoke_register_header() { return ++dabs_smoke_header_count(); }
+
+namespace {
+
+TEST(SmokeBuild, EveryPublicHeaderIsSelfContained) {
+  EXPECT_EQ(dabs_smoke_header_count(), DABS_SMOKE_EXPECTED_HEADERS)
+      << "a generated per-header TU was dropped from the build";
+  EXPECT_GE(DABS_SMOKE_EXPECTED_HEADERS, 50)
+      << "suspiciously few headers were globbed from src/";
+}
+
+}  // namespace
