@@ -1,9 +1,12 @@
 // Micro benchmarks (google-benchmark): the incremental machinery that makes
 // the whole framework viable — O(deg) flips and O(n) scans versus O(n^2)
-// full evaluation (paper §III-A's motivation).
+// full evaluation (paper §III-A's motivation), plus the density-adaptive
+// kernel engine: dense-row vs CSR backends on the same K2000 instance and
+// the fused flip_and_scan entry point.
 #include <benchmark/benchmark.h>
 
 #include "ga/genetic_ops.hpp"
+#include "problems/maxcut.hpp"
 #include "qubo/qubo_builder.hpp"
 #include "qubo/search_state.hpp"
 #include "rng/xorshift.hpp"
@@ -11,9 +14,11 @@
 namespace dabs {
 namespace {
 
-QuboModel dense_model(std::size_t n, std::uint64_t seed) {
+QuboModel dense_model(std::size_t n, std::uint64_t seed,
+                      QuboBackend backend = QuboBackend::kAuto) {
   Rng rng(seed);
   QuboBuilder b(n);
+  b.set_backend(backend);
   for (VarIndex i = 0; i < n; ++i) {
     b.add_linear(i, static_cast<Weight>(rng.next_index(9)) - 4);
     for (VarIndex j = i + 1; j < n; ++j) {
@@ -21,6 +26,16 @@ QuboModel dense_model(std::size_t n, std::uint64_t seed) {
     }
   }
   return b.build();
+}
+
+/// K2000 complete-MaxCut QUBO with a forced kernel backend — the
+/// head-to-head instance for the acceptance numbers in BENCH_micro.json.
+const QuboModel& k2000(QuboBackend backend) {
+  static const QuboModel csr =
+      problems::maxcut_to_qubo(problems::make_k2000(), QuboBackend::kCsr);
+  static const QuboModel dense =
+      problems::maxcut_to_qubo(problems::make_k2000(), QuboBackend::kDense);
+  return backend == QuboBackend::kDense ? dense : csr;
 }
 
 QuboModel sparse_model(std::size_t n, std::size_t deg, std::uint64_t seed) {
@@ -59,6 +74,7 @@ void BM_IncrementalFlipDense(benchmark::State& state) {
     s.flip(i);
     i = static_cast<VarIndex>((i + 1) % n);
   }
+  state.SetItemsProcessed(state.iterations());
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_IncrementalFlipDense)
@@ -67,8 +83,51 @@ BENCHMARK(BM_IncrementalFlipDense)
     ->Arg(1024)
     ->Complexity();
 
+// Head-to-head on the identical K2000 instance: the dense row-stream kernel
+// vs the generic CSR walk.  items_per_second == flips/sec; the acceptance
+// bar is dense >= 2x the pre-engine (CSR) number.
+void BM_FlipK2000(benchmark::State& state) {
+  const auto backend = static_cast<QuboBackend>(state.range(0));
+  const QuboModel& m = k2000(backend);
+  SearchState s(m);
+  Rng rng(4);
+  s.reset_to(random_bit_vector(m.size(), rng));
+  VarIndex i = 0;
+  const auto n = static_cast<VarIndex>(m.size());
+  for (auto _ : state) {
+    s.flip(i);
+    i = static_cast<VarIndex>((i + 1) % n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(to_string(backend));
+}
+BENCHMARK(BM_FlipK2000)
+    ->Arg(static_cast<int>(QuboBackend::kCsr))
+    ->Arg(static_cast<int>(QuboBackend::kDense));
+
+// Fused Step 3 + Step 1 (one search iteration's kernel work) on K2000.
+void BM_FlipAndScanK2000(benchmark::State& state) {
+  const auto backend = static_cast<QuboBackend>(state.range(0));
+  const QuboModel& m = k2000(backend);
+  SearchState s(m);
+  Rng rng(5);
+  s.reset_to(random_bit_vector(m.size(), rng));
+  VarIndex i = 0;
+  const auto n = static_cast<VarIndex>(m.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.flip_and_scan(i));
+    i = static_cast<VarIndex>((i + 1) % n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(to_string(backend));
+}
+BENCHMARK(BM_FlipAndScanK2000)
+    ->Arg(static_cast<int>(QuboBackend::kCsr))
+    ->Arg(static_cast<int>(QuboBackend::kDense));
+
 void BM_IncrementalFlipSparse(benchmark::State& state) {
   // Pegasus-like degree ~15: flips should be ~O(15) regardless of n.
+  // Guards the <= 5% sparse-regression bound of the kernel engine.
   const auto n = static_cast<std::size_t>(state.range(0));
   const QuboModel m = sparse_model(n, 8, 5);
   SearchState s(m);
@@ -79,6 +138,7 @@ void BM_IncrementalFlipSparse(benchmark::State& state) {
     s.flip(i);
     i = static_cast<VarIndex>((i + 1) % n);
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IncrementalFlipSparse)->Arg(1024)->Arg(4096)->Arg(16384);
 

@@ -61,11 +61,8 @@ void BM_GreedyDescent(benchmark::State& state) {
     state.PauseTiming();
     s.reset_to(random_bit_vector(m.size(), rng));
     state.ResumeTiming();
-    while (!s.is_local_minimum()) {
-      const ScanResult r = s.scan();
-      if (r.min_delta >= 0) break;
-      s.flip(r.argmin);
-    }
+    ScanResult r = s.scan();
+    while (r.min_delta < 0) r = s.flip_and_scan(r.argmin);
     benchmark::DoNotOptimize(s.energy());
   }
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark micro suites and merges their JSON reports into
+# one BENCH_micro.json so the perf trajectory accumulates run over run.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    build tree containing bench/ executables (default: build)
+#   OUTPUT_JSON  merged report path (default: BENCH_micro.json in the repo root)
+#
+# Extra google-benchmark flags can be passed via DABS_BENCH_ARGS, e.g.
+#   DABS_BENCH_ARGS='--benchmark_min_time=2s' bench/run_benches.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+output="${2:-${repo_root}/BENCH_micro.json}"
+suites=(bench_micro_incremental bench_micro_search bench_micro_pipeline)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+ran=()
+for suite in "${suites[@]}"; do
+  exe="${build_dir}/bench/${suite}"
+  if [[ ! -x "${exe}" ]]; then
+    echo "skip: ${exe} not built (configure with -DDABS_BUILD_BENCH=ON" \
+         "and install libbenchmark-dev)" >&2
+    continue
+  fi
+  echo "== ${suite}" >&2
+  # shellcheck disable=SC2086  # DABS_BENCH_ARGS is intentionally word-split
+  "${exe}" --benchmark_out="${tmpdir}/${suite}.json" \
+           --benchmark_out_format=json ${DABS_BENCH_ARGS:-} >&2
+  ran+=("${suite}")
+done
+
+if [[ ${#ran[@]} -eq 0 ]]; then
+  echo "error: no micro bench executable found under ${build_dir}/bench" >&2
+  exit 1
+fi
+
+# Merge: one object keyed by suite name, each holding the full
+# google-benchmark report (context + benchmarks array).
+python3 - "${output}" "${tmpdir}" "${ran[@]}" <<'PY'
+import json, sys
+output, tmpdir, suites = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {}
+for s in suites:
+    try:
+        with open(f"{tmpdir}/{s}.json") as f:
+            merged[s] = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:  # e.g. filtered-out suite
+        print(f"skip {s}: {e}", file=sys.stderr)
+with open(output, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+PY
+echo "wrote ${output} (${#ran[@]} suites)" >&2

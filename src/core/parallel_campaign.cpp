@@ -1,7 +1,9 @@
 #include "core/parallel_campaign.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <functional>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -22,14 +24,23 @@ CampaignResult ParallelCampaign::run(const QuboModel& model,
   std::vector<SolveResult> results(trials_);
 
   ThreadPool pool(threads_);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(trials_);
   for (std::size_t t = 0; t < trials_; ++t) {
-    pool.submit([this, &model, &results, target, t] {
+    tasks.push_back([this, &model, &results, target, t] {
       SolverConfig cfg = base_;
       cfg.seed = base_.seed + 0x9e3779b97f4a7c15ull * (t + 1);
       cfg.stop.target_energy = target;
-      results[t] = DabsSolver(cfg).solve(model);
+      // Adjacent results[t] slots share cache lines, so each trial must
+      // write its slot exactly once, at task end, with all solver working
+      // state thread-local.  The named local keeps that single-write
+      // property explicit (it is not a behavior change — a temporary
+      // already guaranteed it).
+      SolveResult local = DabsSolver(cfg).solve(model);
+      results[t] = std::move(local);
     });
   }
+  pool.submit_batch(std::move(tasks));
   pool.wait_idle();
 
   for (std::size_t t = 0; t < trials_; ++t) {

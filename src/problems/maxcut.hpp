@@ -35,8 +35,10 @@ struct MaxCutInstance {
   Energy cut_value(const BitVector& partition) const;
 };
 
-/// Builds the QUBO model with E(X) = -cut(X).
-QuboModel maxcut_to_qubo(const MaxCutInstance& inst);
+/// Builds the QUBO model with E(X) = -cut(X).  `backend` forces the kernel
+/// backend (kAuto picks dense for complete graphs like K2000).
+QuboModel maxcut_to_qubo(const MaxCutInstance& inst,
+                         QuboBackend backend = QuboBackend::kAuto);
 
 /// Weight distribution for random instances.
 enum class EdgeWeights : std::uint8_t {

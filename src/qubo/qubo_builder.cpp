@@ -10,13 +10,19 @@ namespace dabs {
 
 namespace {
 
-Weight checked_narrow(Energy w, const char* what) {
-  DABS_CHECK(w >= std::numeric_limits<Weight>::min() &&
-                 w <= std::numeric_limits<Weight>::max(),
+Weight checked_narrow(Energy w, const char* what, Weight lo) {
+  DABS_CHECK(w >= lo && w <= std::numeric_limits<Weight>::max(),
              std::string("accumulated ") + what +
                  " coefficient overflows the int32 weight range");
   return static_cast<Weight>(w);
 }
+
+// Couplings are restricted to the *symmetric* range [-INT32_MAX, INT32_MAX]
+// so the dense flip kernel may negate a weight branchlessly without risking
+// int32 overflow on INT32_MIN.  Diagonals never enter that kernel (they
+// reach Delta through Eqs. 3/5 in 64-bit) and keep the full int32 range.
+constexpr Weight kQuadraticLo = -std::numeric_limits<Weight>::max();
+constexpr Weight kLinearLo = std::numeric_limits<Weight>::min();
 
 }  // namespace
 
@@ -59,7 +65,7 @@ QuboModel QuboBuilder::build() {
   const std::size_t n = diag_.size();
   m.diag_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    m.diag_[i] = checked_narrow(diag_[i], "linear");
+    m.diag_[i] = checked_narrow(diag_[i], "linear", kLinearLo);
   }
 
   // Build symmetric CSR: each edge contributes to both endpoint rows.
@@ -77,7 +83,7 @@ QuboModel QuboBuilder::build() {
 
   std::vector<std::size_t> cursor(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
   for (const Entry& e : edges) {
-    const Weight w = checked_narrow(e.w, "quadratic");
+    const Weight w = checked_narrow(e.w, "quadratic", kQuadraticLo);
     m.col_[cursor[e.i]] = e.j;
     m.val_[cursor[e.i]++] = w;
     m.col_[cursor[e.j]] = e.i;
@@ -85,8 +91,33 @@ QuboModel QuboBuilder::build() {
   }
   m.max_degree_ = deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
 
+  // Resolve the kernel backend and, when dense, materialize the row-major
+  // matrix the flip kernel streams (diagonal slots stay zero; the diagonal
+  // lives in diag_ and enters Delta via Eq. 5, not the row walk).
+  // Overflow-safe test for n * n * sizeof(Weight) <= kDenseMaxBytes.
+  const bool fits = n <= QuboModel::kDenseMaxBytes / sizeof(Weight) / n;
+  QuboBackend resolved = backend_;
+  if (resolved == QuboBackend::kAuto) {
+    resolved = (fits && m.density() >= QuboModel::kDenseDensityThreshold)
+                   ? QuboBackend::kDense
+                   : QuboBackend::kCsr;
+  }
+  DABS_CHECK(resolved != QuboBackend::kDense || fits,
+             "dense backend requested but the n x n matrix exceeds "
+             "QuboModel::kDenseMaxBytes");
+  m.backend_ = resolved;
+  if (resolved == QuboBackend::kDense) {
+    m.dense_.assign(n * n, 0);
+    for (const Entry& e : edges) {
+      const Weight w = static_cast<Weight>(e.w);  // narrowing checked above
+      m.dense_[std::size_t{e.i} * n + e.j] = w;
+      m.dense_[std::size_t{e.j} * n + e.i] = w;
+    }
+  }
+
   entries_.clear();
   diag_.clear();
+  backend_ = QuboBackend::kAuto;
   return m;
 }
 

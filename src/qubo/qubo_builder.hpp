@@ -23,10 +23,26 @@ class QuboBuilder {
   QuboBuilder& add_linear(VarIndex i, Weight w);
 
   /// Adds w to the quadratic coefficient W_{i,j} (i != j; order irrelevant).
+  /// The accumulated coupling must land in the symmetric range
+  /// [-INT32_MAX, INT32_MAX]; INT32_MIN is rejected at build() time so the
+  /// dense flip kernel can negate weights branchlessly.
   QuboBuilder& add_quadratic(VarIndex i, VarIndex j, Weight w);
 
   /// Number of raw (non-coalesced) quadratic terms added so far.
   std::size_t term_count() const noexcept { return entries_.size(); }
+
+  /// Overrides the kernel backend of the built model.  kAuto (default)
+  /// selects kDense when the coalesced edge density reaches
+  /// QuboModel::kDenseDensityThreshold and the row-major matrix fits
+  /// QuboModel::kDenseMaxBytes; kCsr / kDense force the choice (kDense is
+  /// rejected at build() time when the matrix would not fit the budget).
+  /// Like the accumulated terms, the override is consumed by build(),
+  /// which resets it to kAuto.
+  QuboBuilder& set_backend(QuboBackend backend) noexcept {
+    backend_ = backend;
+    return *this;
+  }
+  QuboBackend backend() const noexcept { return backend_; }
 
   /// Coalesces duplicates, drops zero couplings, and produces the model.
   /// Throws std::invalid_argument when any accumulated coefficient
@@ -42,6 +58,7 @@ class QuboBuilder {
 
   std::vector<Energy> diag_;
   std::vector<Entry> entries_;
+  QuboBackend backend_ = QuboBackend::kAuto;
 };
 
 }  // namespace dabs

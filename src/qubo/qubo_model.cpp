@@ -75,9 +75,11 @@ std::string QuboModel::describe() const {
   const std::size_t m = edge_count();
   os << "QUBO n=" << n << " edges=" << m;
   if (n >= 2) {
-    const double density = double(m) / (double(n) * double(n - 1) / 2.0);
-    os << (density > 0.5 ? " dense" : " sparse");
+    // Same threshold the kAuto backend selection uses, so the label and
+    // the backend= suffix can never contradict each other.
+    os << (density() >= kDenseDensityThreshold ? " dense" : " sparse");
   }
+  os << " backend=" << to_string(backend_);
   return os.str();
 }
 

@@ -7,6 +7,13 @@
 // rows are exactly what the incremental update (Eq. 4) walks after a flip,
 // so a flip costs O(deg(i)); dense models like K2000 simply have rows of
 // length n-1.
+//
+// Dense instances additionally carry a row-major n x n weight matrix
+// (diagonal slots zero) so the flip kernel can stream a contiguous row
+// instead of chasing CSR columns; see QuboBackend in types.hpp.  The CSR
+// arrays are always present — IO, model analysis, and sparse queries keep
+// using them — so the dense matrix is a kernel-side acceleration structure,
+// not a replacement representation.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +58,29 @@ class QuboModel {
   /// Coupling weight W_{i,j} (O(deg) lookup; 0 when not adjacent).
   Weight weight(VarIndex i, VarIndex j) const;
 
+  /// Active kernel backend (kCsr or kDense, never kAuto).
+  QuboBackend backend() const noexcept { return backend_; }
+  bool has_dense_rows() const noexcept {
+    return backend_ == QuboBackend::kDense;
+  }
+  /// Contiguous row i of the dense matrix: n weights, W_{i,j} at slot j,
+  /// zero on the diagonal.  Only valid when has_dense_rows().
+  const Weight* dense_row(VarIndex i) const noexcept {
+    return dense_.data() + std::size_t{i} * size();
+  }
+
+  /// Edge density relative to the complete graph (0 for n < 2).
+  double density() const noexcept {
+    const std::size_t n = size();
+    return n >= 2 ? double(edge_count()) / (double(n) * double(n - 1) / 2.0)
+                  : 0.0;
+  }
+
+  /// kAuto resolution policy: dense when density() >= this ...
+  static constexpr double kDenseDensityThreshold = 0.4;
+  /// ... and the n x n matrix stays within this budget (256 MiB).
+  static constexpr std::size_t kDenseMaxBytes = std::size_t{256} << 20;
+
   /// Full O(n + nnz) evaluation of Eq. 2.  Used for verification and for
   /// one-off energy queries; the search kernels never call this per flip.
   Energy energy(const BitVector& x) const;
@@ -64,7 +94,8 @@ class QuboModel {
   /// Largest possible |E| change of a single flip: bound used by tests.
   Energy flip_bound(VarIndex i) const;
 
-  /// One-line description, e.g. "QUBO n=2000 edges=1999000 dense".
+  /// One-line description, e.g. "QUBO n=2000 edges=1999000 dense
+  /// backend=dense".
   std::string describe() const;
 
  private:
@@ -74,7 +105,9 @@ class QuboModel {
   std::vector<std::size_t> row_ptr_;  // size n+1
   std::vector<VarIndex> col_;         // size 2*edges
   std::vector<Weight> val_;           // size 2*edges
+  std::vector<Weight> dense_;         // size n*n when backend_ == kDense
   std::size_t max_degree_ = 0;
+  QuboBackend backend_ = QuboBackend::kCsr;
 };
 
 }  // namespace dabs

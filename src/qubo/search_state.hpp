@@ -8,10 +8,16 @@
 //                                Step-1 scan (plus every visited X), which is
 //                                what a batch search ultimately reports.
 //
-// The scan() helper is the CPU equivalent of the paper's GPU Step 1: one
-// pass over all Delta_k that yields min/argmin/max and opportunistically
-// improves BEST.  Search algorithms fuse their bit-selection pass with this
-// scan wherever possible so an iteration costs a single O(n) sweep.
+// Kernel engine: alongside the packed x_ the state caches sigma_ (int8 ±1,
+// kept in sync with x_), so both flip kernels are branchless
+// delta_[k] += w * si * sigma_[k] loops the compiler can auto-vectorize —
+// a contiguous row stream on the dense backend, a CSR gather on the sparse
+// one.  scan() is the CPU equivalent of the paper's GPU Step 1: a blocked
+// min/argmin/max reduction over Delta that opportunistically improves BEST.
+// flip_and_scan() fuses Step 3 of one iteration with Step 1 of the next,
+// block by block on the dense backend so each Delta block is reduced while
+// still cache-hot.  All arithmetic is exact int64, so every backend and
+// kernel variant is bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -50,9 +56,18 @@ class SearchState {
   Energy delta(VarIndex k) const { return delta_[k]; }
   std::span<const Energy> deltas() const noexcept { return delta_; }
 
+  /// Cached spins sigma(x_k) as int8 ±1, always in sync with solution().
+  std::span<const std::int8_t> sigmas() const noexcept { return sigma_; }
+
   /// Flips bit i: X <- f_i(X), updating E and every Delta_k incrementally.
   /// Also folds the *visited* X into BEST (an O(1) check).
   void flip(VarIndex i);
+
+  /// Fused Step 3 + Step 1: flip(i) followed by scan(), except the dense
+  /// backend interleaves the Delta update and the reduction block by block
+  /// so the deltas are reduced while still in cache.  Exactly equivalent to
+  /// `flip(i); return scan();`.
+  ScanResult flip_and_scan(VarIndex i);
 
   /// Total flips since construction or the last reset.
   std::uint64_t flip_count() const noexcept { return flips_; }
@@ -71,15 +86,35 @@ class SearchState {
   bool is_local_minimum() const;
 
  private:
+  /// Reduction block width: big enough to amortize the per-block argmin
+  /// bookkeeping, small enough that a fused dense block (weights + deltas)
+  /// stays resident in L1/L2.
+  static constexpr std::size_t kScanBlock = 1024;
+
   void maybe_record_visited();
+  /// Records BEST <- f_{arg}(X) with energy e through the scratch buffer
+  /// (word copy + swap; no per-improvement allocation).
+  void record_best_neighbor(VarIndex arg, Energy e);
+  /// Eq. 4 over one dense block [b0, b1) of Delta (row streamed, branchless).
+  void dense_update_block(const Weight* row, std::int32_t si, std::size_t b0,
+                          std::size_t b1);
+  /// Branchless min/max over one block; returns {block_min, block_max}.
+  void reduce_block(std::size_t b0, std::size_t b1, Energy& mn,
+                    Energy& mx) const;
+  /// Shared tail of flip()/flip_and_scan(): Eq. 5 and the x/sigma updates.
+  void finish_flip(VarIndex i, std::int32_t si);
+  /// Locates the first argmin in [b0, b1) and applies the BEST update.
+  ScanResult finish_scan(Energy mn, Energy mx, std::size_t mn_block);
 
   const QuboModel* model_;
   BitVector x_;
   Energy energy_ = 0;
   std::vector<Energy> delta_;
+  std::vector<std::int8_t> sigma_;  // sigma_[k] == sigma(x_.get(k))
   std::uint64_t flips_ = 0;
 
   BitVector best_;
+  BitVector scratch_;  // reusable buffer for BEST updates
   Energy best_energy_ = 0;
 };
 

@@ -22,4 +22,22 @@ inline constexpr Energy kInfiniteEnergy = std::numeric_limits<Energy>::max();
 /// sigma(x) = 2x - 1 maps binary 0/1 to spin -1/+1 (paper §III).
 inline constexpr int sigma(bool x) noexcept { return x ? 1 : -1; }
 
+/// Storage backend for the coupling matrix walked by the flip kernel.
+/// kAuto picks kDense when the edge density crosses a threshold and the
+/// row-major matrix fits a sane memory budget, kCsr otherwise; both
+/// backends are bit-exact (integer arithmetic, no reassociation).
+enum class QuboBackend : std::uint8_t { kAuto, kCsr, kDense };
+
+inline constexpr const char* to_string(QuboBackend b) noexcept {
+  switch (b) {
+    case QuboBackend::kAuto:
+      return "auto";
+    case QuboBackend::kCsr:
+      return "csr";
+    case QuboBackend::kDense:
+      return "dense";
+  }
+  return "?";
+}
+
 }  // namespace dabs

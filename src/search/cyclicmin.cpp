@@ -10,6 +10,7 @@ void CyclicMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
                           std::uint64_t iterations) {
   const auto n = state.size();
   const std::uint64_t T = iterations;
+  if (T == 0) return;
 
   if (bit_permuted_) {
     // Fresh Fisher-Yates shuffle of the cyclic order per run (ABS [16]).
@@ -22,9 +23,8 @@ void CyclicMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
     }
   }
 
+  state.scan();  // Step 1; later iterations fuse it into flip_and_scan
   for (std::uint64_t t = 1; t <= T; ++t) {
-    state.scan();  // Step 1: best update over all 1-bit neighbors
-
     const double frac = double(t) / double(T);
     const auto width = std::clamp<std::size_t>(
         static_cast<std::size_t>(frac * frac * frac * double(n)),
@@ -52,7 +52,7 @@ void CyclicMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
     }
     if (pick == n) pick = pick_any;  // whole window tabu: flip anyway
     if (tabu) tabu->record(pick, now + 1);
-    state.flip(pick);
+    state.flip_and_scan(pick);  // Step 3 fused with the next Step 1
     pos_ = (pos_ + width) % n;
   }
 }

@@ -3,12 +3,12 @@
 namespace dabs {
 
 std::uint64_t greedy_descent(SearchState& state, std::uint64_t max_flips) {
+  if (max_flips == 0) return 0;
   std::uint64_t flips = 0;
-  while (flips < max_flips) {
-    const ScanResult s = state.scan();
-    if (s.min_delta >= 0) break;  // local minimum reached
-    state.flip(s.argmin);
-    ++flips;
+  ScanResult s = state.scan();
+  while (s.min_delta < 0) {  // negative min: not yet a local minimum
+    s = state.flip_and_scan(s.argmin);
+    if (++flips >= max_flips) break;
   }
   return flips;
 }

@@ -25,8 +25,9 @@ VarIndex sample_below(const SearchState& state, double d, Rng& rng,
 void MaxMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
                        std::uint64_t iterations) {
   const std::uint64_t T = iterations;
+  if (T == 0) return;
+  ScanResult s = state.scan();  // Step 1 (best update) + min/max
   for (std::uint64_t t = 1; t <= T; ++t) {
-    const ScanResult s = state.scan();  // Step 1 (best update) + min/max
     const double u = double(T - t) / double(T);
     const double u3 = u * u * u;
     const double upper =
@@ -41,7 +42,7 @@ void MaxMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
       pick = sample_below(state, d, rng, nullptr, state.flip_count());
     }
     if (tabu) tabu->record(pick, state.flip_count() + 1);
-    state.flip(pick);
+    s = state.flip_and_scan(pick);  // Step 3 fused with the next Step 1
   }
 }
 

@@ -7,9 +7,9 @@ namespace dabs {
 void PositiveMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
                             std::uint64_t iterations) {
   const auto n = static_cast<VarIndex>(state.size());
+  if (iterations == 0) return;
+  state.scan();  // Step 1; later iterations fuse it into flip_and_scan
   for (std::uint64_t t = 1; t <= iterations; ++t) {
-    state.scan();  // Step 1
-
     // posmin(Delta) = smallest strictly positive Delta; when no Delta is
     // positive every bit qualifies as a candidate.
     Energy posmin = std::numeric_limits<Energy>::max();
@@ -32,7 +32,7 @@ void PositiveMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
     }
     if (pick == n) pick = pick_any;  // all candidates tabu
     if (tabu) tabu->record(pick, now + 1);
-    state.flip(pick);
+    state.flip_and_scan(pick);  // Step 3 fused with the next Step 1
   }
 }
 

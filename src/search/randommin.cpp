@@ -9,9 +9,9 @@ void RandomMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
                           std::uint64_t iterations) {
   const auto n = static_cast<VarIndex>(state.size());
   const std::uint64_t T = iterations;
+  if (T == 0) return;
+  ScanResult s = state.scan();  // Step 1; fused into flip_and_scan below
   for (std::uint64_t t = 1; t <= T; ++t) {
-    const ScanResult s = state.scan();  // Step 1
-
     const double frac = double(t) / double(T);
     const double p =
         std::max(frac * frac * frac, double(min_candidates_) / double(n));
@@ -34,7 +34,7 @@ void RandomMinSearch::run(SearchState& state, Rng& rng, TabuList* tabu,
       pick = s.argmin;
     }
     if (tabu) tabu->record(pick, now + 1);
-    state.flip(pick);
+    s = state.flip_and_scan(pick);  // Step 3 fused with the next Step 1
   }
 }
 

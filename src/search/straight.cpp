@@ -10,9 +10,8 @@ std::uint64_t straight_walk(SearchState& state, const BitVector& target) {
   DABS_CHECK(target.size() == state.size(), "target length mismatch");
   std::uint64_t flips = 0;
   const auto n = static_cast<VarIndex>(state.size());
+  state.scan();  // Step 1: BEST update over all 1-bit neighbors
   for (;;) {
-    state.scan();  // Step 1: BEST update over all 1-bit neighbors
-
     // Step 2: minimum-Delta bit among those differing from the target.
     Energy diff_min = std::numeric_limits<Energy>::max();
     VarIndex diff_arg = n;  // n == "no differing bit left"
@@ -24,7 +23,7 @@ std::uint64_t straight_walk(SearchState& state, const BitVector& target) {
       }
     }
     if (diff_arg == n) break;  // X == target
-    state.flip(diff_arg);
+    state.flip_and_scan(diff_arg);  // Step 3 fused with the next Step 1
     ++flips;
   }
   return flips;

@@ -6,14 +6,13 @@ void TwoNeighborSearch::run(SearchState& state, Rng& /*rng*/,
                             TabuList* /*tabu*/, std::uint64_t /*iterations*/) {
   const auto n = static_cast<VarIndex>(state.size());
   if (n == 0) return;
-  // Flip sequence 0, then (k, k-1) for k = 1 .. n-1: 2n-1 flips total.
+  // Flip sequence 0, then (k, k-1) for k = 1 .. n-1: 2n-1 flips total;
+  // every Step 3 is fused with the following Step 1.
   state.scan();
-  state.flip(0);
+  state.flip_and_scan(0);
   for (VarIndex k = 1; k < n; ++k) {
-    state.scan();
-    state.flip(k);
-    state.scan();
-    state.flip(k - 1);
+    state.flip_and_scan(k);
+    state.flip_and_scan(k - 1);
   }
 }
 

@@ -29,6 +29,15 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& task : tasks) tasks_.push_back(std::move(task));
+  }
+  cv_task_.notify_all();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });

@@ -26,6 +26,11 @@ class ThreadPool {
   /// Enqueues a task; tasks may run in any order across workers.
   void submit(std::function<void()> task);
 
+  /// Enqueues a whole batch under a single lock acquisition with one
+  /// notify_all — per-task lock/wakeup overhead matters when a campaign
+  /// submits hundreds of short trials at once.  The vector is consumed.
+  void submit_batch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every submitted task has finished.
   void wait_idle();
 

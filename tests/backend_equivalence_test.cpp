@@ -1,0 +1,198 @@
+// Dense-vs-CSR backend equivalence: both kernel backends must be bit-exact
+// on every observable — energy, delta_all, post-flip incremental deltas,
+// scan results, BEST bookkeeping, and whole SolveResults — across sizes
+// (including the n % 64 != 0 tail-word cases) and densities.  All
+// arithmetic is integral, so "close" is not acceptable: EXPECT_EQ only.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+
+#include "core/dabs_solver.hpp"
+#include "qubo/qubo_builder.hpp"
+#include "qubo/search_state.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using testing::random_model;
+using testing::random_solution;
+
+class BackendEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, double>> {
+ protected:
+  // Same seed => identical terms; only the backend differs.
+  QuboModel csr(std::uint64_t salt = 0) const {
+    const auto [n, density] = GetParam();
+    return random_model(n, density, 9, 9000 + n + salt, QuboBackend::kCsr);
+  }
+  QuboModel dense(std::uint64_t salt = 0) const {
+    const auto [n, density] = GetParam();
+    return random_model(n, density, 9, 9000 + n + salt, QuboBackend::kDense);
+  }
+};
+
+TEST_P(BackendEquivalence, ForcedBackendsAreHonored) {
+  EXPECT_EQ(csr().backend(), QuboBackend::kCsr);
+  EXPECT_EQ(dense().backend(), QuboBackend::kDense);
+  EXPECT_TRUE(dense().has_dense_rows());
+  EXPECT_FALSE(csr().has_dense_rows());
+}
+
+TEST_P(BackendEquivalence, DenseRowsMatchCsrWeights) {
+  const QuboModel a = csr(), b = dense();
+  ASSERT_EQ(a.size(), b.size());
+  const auto n = static_cast<VarIndex>(a.size());
+  for (VarIndex i = 0; i < n; ++i) {
+    const Weight* row = b.dense_row(i);
+    for (VarIndex j = 0; j < n; ++j) {
+      EXPECT_EQ(row[j], i == j ? 0 : a.weight(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(BackendEquivalence, EnergyAndDeltaAllAreBitIdentical) {
+  const QuboModel a = csr(), b = dense();
+  Rng rng(std::get<0>(GetParam()) * 23 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVector x = random_solution(a.size(), rng);
+    EXPECT_EQ(a.energy(x), b.energy(x));
+    std::vector<Energy> da, db;
+    a.delta_all(x, da);
+    b.delta_all(x, db);
+    EXPECT_EQ(da, db);
+  }
+}
+
+TEST_P(BackendEquivalence, RandomWalkKeepsIdenticalState) {
+  const QuboModel a = csr(), b = dense();
+  SearchState sa(a), sb(b);
+  Rng rng(std::get<0>(GetParam()) * 29 + 5);
+  const BitVector start = random_solution(a.size(), rng);
+  sa.reset_to(start);
+  sb.reset_to(start);
+  const auto n = a.size();
+  for (int step = 0; step < 200; ++step) {
+    const auto i = static_cast<VarIndex>(rng.next_index(n));
+    sa.flip(i);
+    sb.flip(i);
+  }
+  EXPECT_EQ(sa.solution(), sb.solution());
+  EXPECT_EQ(sa.energy(), sb.energy());
+  EXPECT_EQ(sa.best(), sb.best());
+  EXPECT_EQ(sa.best_energy(), sb.best_energy());
+  for (VarIndex k = 0; k < n; ++k) {
+    ASSERT_EQ(sa.delta(k), sb.delta(k)) << "k=" << k;
+    ASSERT_EQ(sa.sigmas()[k], sb.sigmas()[k]) << "k=" << k;
+  }
+}
+
+TEST_P(BackendEquivalence, FlipAndScanEqualsFlipThenScan) {
+  // On *both* backends, the fused entry point must be exactly
+  // flip(); scan(); — same ScanResult, same deltas, same BEST.
+  for (const QuboBackend backend : {QuboBackend::kCsr, QuboBackend::kDense}) {
+    const auto [n, density] = GetParam();
+    const QuboModel m =
+        random_model(n, density, 9, 9100 + n, backend);
+    SearchState fused(m), stepped(m);
+    Rng rng(n * 31 + 7);
+    const BitVector start = random_solution(m.size(), rng);
+    fused.reset_to(start);
+    stepped.reset_to(start);
+    for (int step = 0; step < 60; ++step) {
+      const auto i = static_cast<VarIndex>(rng.next_index(m.size()));
+      const ScanResult f = fused.flip_and_scan(i);
+      stepped.flip(i);
+      const ScanResult s = stepped.scan();
+      ASSERT_EQ(f.min_delta, s.min_delta);
+      ASSERT_EQ(f.max_delta, s.max_delta);
+      ASSERT_EQ(f.argmin, s.argmin);
+    }
+    EXPECT_EQ(fused.solution(), stepped.solution());
+    EXPECT_EQ(fused.energy(), stepped.energy());
+    EXPECT_EQ(fused.best(), stepped.best());
+    EXPECT_EQ(fused.best_energy(), stepped.best_energy());
+    for (VarIndex k = 0; k < m.size(); ++k) {
+      ASSERT_EQ(fused.delta(k), stepped.delta(k)) << "k=" << k;
+    }
+  }
+}
+
+// Sizes deliberately straddle the bit-vector word boundary (63/64/65/129)
+// to cover the n % 64 != 0 tail-word edge case.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BackendEquivalence,
+    ::testing::Combine(::testing::Values(2, 33, 63, 64, 65, 100, 129),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+TEST(BackendSelection, AutoPicksDenseAboveThresholdAndCsrBelow) {
+  const QuboModel dense = random_model(40, 1.0, 5, 1);
+  EXPECT_EQ(dense.backend(), QuboBackend::kDense);
+  EXPECT_NE(dense.describe().find("backend=dense"), std::string::npos);
+  const QuboModel sparse = random_model(40, 0.05, 5, 1);
+  EXPECT_EQ(sparse.backend(), QuboBackend::kCsr);
+  EXPECT_NE(sparse.describe().find("backend=csr"), std::string::npos);
+}
+
+TEST(BackendSelection, DenseRequestBeyondMemoryBudgetIsRejected) {
+  // n = 8200 puts the n x n matrix just past kDenseMaxBytes (256 MiB at
+  // int32 weights caps n at 8192): a forced kDense must be rejected at
+  // build() time, before anything is allocated.  kAuto uses the same
+  // fits-check and falls back to CSR instead.
+  const std::size_t n = 8200;
+  ASSERT_GT(n * n * sizeof(Weight), QuboModel::kDenseMaxBytes);
+  QuboBuilder b(n);
+  b.add_quadratic(0, 1, 1);
+  b.set_backend(QuboBackend::kDense);
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(BackendSelection, BuilderResetsOverrideAfterBuild) {
+  QuboBuilder b(4);
+  b.add_quadratic(0, 1, 1).set_backend(QuboBackend::kDense);
+  EXPECT_EQ(b.build().backend(), QuboBackend::kDense);
+  // build() leaves the builder empty and back on kAuto.
+  EXPECT_EQ(b.backend(), QuboBackend::kAuto);
+}
+
+TEST(BackendSelection, QuadraticInt32MinIsRejected) {
+  // The symmetric-coupling restriction that keeps the branchless dense
+  // kernel overflow-free; INT32_MIN diagonals remain legal.
+  QuboBuilder b(2);
+  b.add_quadratic(0, 1, std::numeric_limits<Weight>::min());
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+  QuboBuilder ok(2);
+  ok.add_quadratic(0, 1, -std::numeric_limits<Weight>::max());
+  ok.add_linear(0, std::numeric_limits<Weight>::min());
+  const QuboModel m = ok.build();
+  EXPECT_EQ(m.weight(0, 1), -std::numeric_limits<Weight>::max());
+  EXPECT_EQ(m.diag(0), std::numeric_limits<Weight>::min());
+}
+
+TEST(BackendRegression, SolveResultBitIdenticalAcrossBackendSwitch) {
+  // The determinism_test guarantee must survive the backend switch: the
+  // same solver config on the same terms produces the same SolveResult
+  // whether the kernel walks CSR rows or dense rows.
+  const QuboModel a = random_model(64, 0.3, 9, 11004, QuboBackend::kCsr);
+  const QuboModel b = random_model(64, 0.3, 9, 11004, QuboBackend::kDense);
+  SolverConfig c;
+  c.devices = 3;
+  c.device.blocks = 2;
+  c.mode = ExecutionMode::kSynchronous;
+  c.stop.max_batches = 120;
+  c.seed = 0xD1CED1CE;
+  const SolveResult ra = DabsSolver(c).solve(a);
+  const SolveResult rb = DabsSolver(c).solve(b);
+  EXPECT_EQ(ra.best_energy, rb.best_energy);
+  EXPECT_EQ(ra.best_solution, rb.best_solution);
+  EXPECT_EQ(ra.batches, rb.batches);
+  EXPECT_EQ(ra.restarts, rb.restarts);
+  EXPECT_EQ(ra.reached_target, rb.reached_target);
+  EXPECT_EQ(ra.stats.algo_executed, rb.stats.algo_executed);
+  EXPECT_EQ(ra.stats.op_executed, rb.stats.op_executed);
+  EXPECT_EQ(ra.stats.improvements.size(), rb.stats.improvements.size());
+}
+
+}  // namespace
+}  // namespace dabs

@@ -13,11 +13,14 @@ namespace dabs::testing {
 
 /// Random QUBO: every pair is an edge with probability `density`; weights
 /// uniform in [-max_w, max_w] (zeros dropped by the builder), diagonals in
-/// the same range.
+/// the same range.  `backend` forces the kernel backend (kAuto = pick by
+/// density, the production default).
 inline QuboModel random_model(std::size_t n, double density, int max_w,
-                              std::uint64_t seed) {
+                              std::uint64_t seed,
+                              QuboBackend backend = QuboBackend::kAuto) {
   Rng rng(seed);
   QuboBuilder b(n);
+  b.set_backend(backend);
   auto w = [&]() {
     return static_cast<Weight>(
         static_cast<long long>(rng.next_index(2 * max_w + 1)) - max_w);
