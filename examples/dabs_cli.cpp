@@ -1,18 +1,20 @@
-// Command-line QUBO solver front end: load a model from any supported
-// format (QUBO text, Gset MaxCut, QAPLIB), run DABS or a baseline, and
-// print the result as text or JSON.
+// Command-line QUBO solver front end on the unified solver registry: load
+// a model from any supported format (QUBO text, Gset MaxCut, QAPLIB), run
+// any registered solver, and print the unified report as text or JSON.
 //
+//   $ ./dabs_cli --list-solvers
 //   $ ./dabs_cli --format qubo model.txt --time-limit 5
-//   $ ./dabs_cli --format gset G22 --solver abs --json
+//   $ ./dabs_cli --format gset G22 --solver tabu --opt tenure=8 --json
 //   $ ./dabs_cli --format qaplib nug30.dat --devices 4 --s 0.1 --b 1.0
+//   $ ./dabs_cli model.txt --solver sa --target -1234 --campaign 100
 //
 // Exit status: 0 on success, 2 on usage errors.
 #include <iostream>
 
-#include "baseline/abs_solver.hpp"
-#include "baseline/simulated_annealing.hpp"
-#include "core/dabs_solver.hpp"
 #include "core/parallel_campaign.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver.hpp"
+#include "core/solver_registry.hpp"
 #include "io/gset.hpp"
 #include "io/json_writer.hpp"
 #include "io/qaplib.hpp"
@@ -28,16 +30,26 @@ namespace {
 void usage(const std::string& prog) {
   std::cerr
       << "usage: " << prog << " [options] <model-file>\n"
+      << "  --list-solvers              print the solver registry and exit\n"
       << "  --format qubo|gset|qaplib   input format (default qubo)\n"
-      << "  --solver dabs|abs|sa        solver (default dabs)\n"
+      << "  --solver <name>             any registered solver (default "
+         "dabs)\n"
+      << "  --opt k=v[,k=v...]          solver-specific options (see "
+         "--list-solvers)\n"
       << "  --time-limit <sec>          wall-clock budget (default 5)\n"
-      << "  --max-batches <n>           batch budget (0 = none)\n"
+      << "  --max-batches <n>           work budget: batches for bulk\n"
+      << "                              solvers, flips for baselines (0 = "
+         "none)\n"
       << "  --target <energy>           stop at this energy\n"
-      << "  --devices <n> --blocks <n>  virtual device shape (default 2x2)\n"
-      << "  --s <f> --b <f>             search/batch flip factors\n"
-      << "  --pool <n>                  pool capacity (default 100)\n"
-      << "  --seed <n>                  master seed\n"
-      << "  --threads                   threaded mode (default synchronous)\n"
+      << "  --seed <n>                  master seed (default: solver's "
+         "own)\n"
+      << "  --devices <n> --blocks <n>  bulk solver shape (dabs/abs only)\n"
+      << "  --s <f> --b <f>             search/batch flip factors "
+         "(dabs/abs)\n"
+      << "  --pool <n>                  pool capacity (dabs/abs)\n"
+      << "  --threads                   threaded bulk mode (default "
+         "synchronous)\n"
+      << "  --progress                  print improvements to stderr\n"
       << "  --save-solution <path>      write the best solution found\n"
       << "  --json                      JSON output\n"
       << "  --describe                  print model statistics and exit\n"
@@ -46,12 +58,50 @@ void usage(const std::string& prog) {
       << "  --campaign-threads <n>      workers for --campaign (default 2)\n";
 }
 
+void list_solvers() {
+  for (const dabs::SolverInfo& info : dabs::SolverRegistry::global().list()) {
+    std::cout << "  " << info.name << "\n      " << info.description << "\n";
+  }
+}
+
+/// --progress sink: improvements as they happen, on stderr so --json
+/// stdout stays machine-readable.
+class StderrProgress : public dabs::ProgressObserver {
+ public:
+  void on_new_best(const dabs::ProgressEvent& event) override {
+    std::cerr << "[" << event.elapsed_seconds << "s] best "
+              << event.best_energy << " (work " << event.work << ")\n";
+  }
+};
+
+/// Splits "k=v,k2=v2" --opt payloads into the options map.
+void parse_opts(const std::string& spec, dabs::SolverOptions& opts) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("--opt entries must look like key=value");
+      }
+      opts.set(item.substr(0, eq), item.substr(eq + 1));
+    }
+    start = end + 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dabs;
   const ArgParser args(argc, argv);
   try {
+    if (args.get_bool("list-solvers")) {
+      list_solvers();
+      return 0;
+    }
     if (args.positional().size() != 1 || args.get_bool("help")) {
       usage(args.program());
       return 2;
@@ -76,95 +126,127 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    SolverConfig cfg;
-    cfg.devices = static_cast<std::size_t>(args.get_int("devices", 2));
-    cfg.device.blocks =
-        static_cast<std::uint32_t>(args.get_int("blocks", 2));
-    cfg.device.batch.search_flip_factor = args.get_double("s", 0.1);
-    cfg.device.batch.batch_flip_factor = args.get_double("b", 1.0);
-    cfg.pool_capacity = static_cast<std::size_t>(args.get_int("pool", 100));
-    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    cfg.mode = args.get_bool("threads") ? ExecutionMode::kThreaded
-                                        : ExecutionMode::kSynchronous;
-    cfg.stop.time_limit_seconds = args.get_double("time-limit", 5.0);
-    cfg.stop.max_batches =
+    // Solver-specific options: the legacy bulk flags forward when present,
+    // --opt covers everything else.  Unknown keys are rejected by the
+    // registry with the solver's name in the message.
+    const std::string solver_name = args.get("solver", "dabs");
+    const bool campaign = args.has("campaign");
+    SolverOptions opts;
+    for (const char* key : {"devices", "blocks", "s", "b", "pool"}) {
+      if (const auto v = args.get(key)) opts.set(key, *v);
+    }
+    // --threads is the bulk-mode flag; exhaustive's numeric "threads"
+    // option (a worker count) is reachable via --opt threads=<n>.
+    // Campaigns keep trials synchronous (bit-reproducible statistics,
+    // no devices x trials thread oversubscription), as they always have.
+    if (args.get_bool("threads") && !campaign &&
+        (solver_name == "dabs" || solver_name == "abs")) {
+      opts.set("threads", "true");
+    }
+    if (const auto spec = args.get("opt")) parse_opts(*spec, opts);
+
+    SolveRequest req;
+    req.model = &model;
+    req.stop.time_limit_seconds = args.get_double("time-limit", 5.0);
+    req.stop.max_batches =
         static_cast<std::uint64_t>(args.get_int("max-batches", 0));
     if (args.has("target")) {
-      cfg.stop.target_energy = args.get_int("target", 0);
+      req.stop.target_energy = args.get_int("target", 0);
     }
-
-    if (args.has("campaign")) {
-      const auto trials =
-          static_cast<std::size_t>(args.get_int("campaign", 10));
-      const auto workers =
-          static_cast<std::size_t>(args.get_int("campaign-threads", 2));
-      if (!cfg.stop.target_energy) {
-        std::cerr << "--campaign requires --target <energy>\n";
-        return 2;
-      }
-      const Energy target = *cfg.stop.target_energy;
-      const ParallelCampaign camp(cfg, trials, workers);
-      const CampaignResult r = camp.run(model, target);
-      std::cout << "campaign: " << r.successes << "/" << r.runs
-                << " trials reached " << target << "\n";
-      if (r.successes > 0) {
-        std::cout << "TTS " << r.tts.to_string() << "\n"
-                  << "TTS@99% = "
-                  << tts_at_confidence(r.tts.mean(), r.success_rate())
-                  << "s\n";
-      }
-      std::cout << "best energy over campaign: " << r.best_energy << "\n";
-      return 0;
+    if (args.has("seed")) {
+      req.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     }
+    StderrProgress progress;
+    if (args.get_bool("progress")) req.observer = &progress;
 
-    const std::string solver = args.get("solver", "dabs");
-    SolveResult result;
-    if (solver == "dabs") {
-      result = DabsSolver(cfg).solve(model);
-    } else if (solver == "abs") {
-      result = AbsSolver(cfg).solve(model);
-    } else if (solver == "sa") {
-      SaParams sa;
-      sa.time_limit_seconds = cfg.stop.time_limit_seconds;
-      sa.restarts = 1000000;
-      sa.seed = cfg.seed;
-      const BaselineResult r = SimulatedAnnealing(sa).solve(model);
-      result.best_solution = r.best_solution;
-      result.best_energy = r.best_energy;
-      result.elapsed_seconds = r.elapsed_seconds;
-    } else {
-      std::cerr << "unknown solver '" << solver << "'\n";
-      return 2;
-    }
-
-    if (const auto out = args.get("save-solution")) {
-      io::write_solution_file(*out, result.best_solution,
-                              result.best_energy);
+    // When a wall-clock budget governs the run, lift the baselines' small
+    // default iteration budgets so --time-limit / --target decide when to
+    // stop (the legacy `--solver sa` path did the same with restarts=1e6).
+    // An explicit --opt value always wins.
+    if (req.stop.time_limit_seconds > 0) {
+      auto fill = [&](const char* solver, const char* key, const char* v) {
+        if (solver_name == solver && !opts.has(key)) opts.set(key, v);
+      };
+      fill("sa", "restarts", "1000000000");
+      fill("greedy-restart", "restarts", "1000000000");
+      fill("tabu", "iterations", "1000000000000");
+      fill("path-relinking", "relinks", "1000000000");
+      fill("subqubo", "iterations", "1000000000");
     }
 
     const bool as_json = args.get_bool("json");
+    const auto trials = static_cast<std::size_t>(args.get_int("campaign", 10));
+    const auto workers =
+        static_cast<std::size_t>(args.get_int("campaign-threads", 2));
+    const auto save_path = args.get("save-solution");
+
     // All options have been queried by now: anything left is a typo.
     for (const std::string& name : args.unused()) {
       std::cerr << "warning: unknown option --" << name << "\n";
     }
 
+    const std::unique_ptr<Solver> solver =
+        SolverRegistry::global().create(solver_name, opts);
+
+    if (campaign) {
+      if (!req.stop.target_energy) {
+        std::cerr << "--campaign requires --target <energy>\n";
+        return 2;
+      }
+      const Energy target = *req.stop.target_energy;
+      SolverConfig base;
+      base.seed = req.seed.value_or(base.seed);
+      base.stop = req.stop;
+      const ParallelCampaign camp(base, trials, workers);
+      // `req` rides along as the prototype so --progress (and a future
+      // cancellation hook) reach every trial.
+      const CampaignResult r = camp.run_solver(model, target, *solver, req);
+      if (as_json) {
+        io::JsonWriter json(std::cout);
+        json.begin_object()
+            .value("model", model.describe())
+            .value("solver", solver_name)
+            .value("target", target)
+            .value("trials", std::uint64_t{r.runs})
+            .value("successes", std::uint64_t{r.successes})
+            .value("success_rate", r.success_rate())
+            .value("best_energy", r.best_energy);
+        if (r.successes > 0) {
+          json.value("tts_mean_seconds", r.tts.mean())
+              .value("tts_at_99",
+                     tts_at_confidence(r.tts.mean(), r.success_rate()));
+        }
+        json.end_object();
+        std::cout << "\n";
+      } else {
+        std::cout << "campaign: " << r.successes << "/" << r.runs
+                  << " trials reached " << target << "\n";
+        if (r.successes > 0) {
+          std::cout << "TTS " << r.tts.to_string() << "\n"
+                    << "TTS@99% = "
+                    << tts_at_confidence(r.tts.mean(), r.success_rate())
+                    << "s\n";
+        }
+        std::cout << "best energy over campaign: " << r.best_energy << "\n";
+      }
+      return 0;
+    }
+
+    const SolveReport report = solver->solve(req);
+
+    if (save_path) {
+      io::write_solution_file(*save_path, report.best_solution,
+                              report.best_energy);
+    }
+
     if (as_json) {
       io::JsonWriter json(std::cout);
-      json.begin_object()
-          .value("model", model.describe())
-          .value("solver", solver)
-          .value("best_energy", result.best_energy)
-          .value("reached_target", result.reached_target)
-          .value("tts_seconds", result.tts_seconds)
-          .value("elapsed_seconds", result.elapsed_seconds)
-          .value("batches", result.batches)
-          .end_object();
+      json.begin_object().value("model", model.describe());
+      report.write_json(json, "report");
+      json.end_object();
       std::cout << "\n";
     } else {
-      std::cout << model.describe() << "\n"
-                << "best energy : " << result.best_energy << "\n"
-                << "elapsed     : " << result.elapsed_seconds << "s\n"
-                << "batches     : " << result.batches << "\n";
+      std::cout << model.describe() << "\n" << report.to_string();
     }
     return 0;
   } catch (const std::exception& e) {

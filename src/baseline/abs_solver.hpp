@@ -14,7 +14,7 @@ namespace dabs {
 /// no exploration, no merged-ring restart).
 SolverConfig make_abs_config(SolverConfig base = {});
 
-class AbsSolver {
+class AbsSolver : public Solver {
  public:
   explicit AbsSolver(SolverConfig base = {})
       : inner_(make_abs_config(std::move(base))) {}
@@ -22,6 +22,15 @@ class AbsSolver {
   const SolverConfig& config() const noexcept { return inner_.config(); }
 
   SolveResult solve(const QuboModel& model) { return inner_.solve(model); }
+
+  /// Unified-interface entry; see DabsSolver::solve(const SolveRequest&).
+  SolveReport solve(const SolveRequest& request) override {
+    SolveReport report = inner_.solve(request);
+    report.solver = name();
+    return report;
+  }
+
+  std::string_view name() const noexcept override { return "abs"; }
 
  private:
   DabsSolver inner_;

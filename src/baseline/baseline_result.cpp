@@ -1,0 +1,12 @@
+#include "baseline/baseline_result.hpp"
+
+#include <cmath>
+
+namespace dabs {
+
+double energy_gap(Energy found, Energy reference) {
+  if (reference == 0) return found == 0 ? 0.0 : 1.0;
+  return double(found - reference) / std::abs(double(reference));
+}
+
+}  // namespace dabs

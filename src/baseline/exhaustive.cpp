@@ -10,9 +10,9 @@
 
 namespace dabs {
 
-BaselineResult ExhaustiveSolver::solve_block(const QuboModel& model,
-                                             std::uint64_t prefix,
-                                             std::size_t prefix_bits) const {
+BaselineResult ExhaustiveSolver::solve_block(
+    const QuboModel& model, std::uint64_t prefix, std::size_t prefix_bits,
+    const StopContext* ctx, std::atomic<std::uint64_t>* work_done) const {
   const std::size_t n = model.size();
   const std::size_t suffix_bits = n - prefix_bits;
 
@@ -27,7 +27,16 @@ BaselineResult ExhaustiveSolver::solve_block(const QuboModel& model,
   BitVector best = state.solution();
   Energy best_e = state.energy();
   const std::uint64_t total = std::uint64_t{1} << suffix_bits;
+  const std::uint64_t work_budget = ctx ? ctx->condition().max_batches : 0;
   for (std::uint64_t s = 1; s < total; ++s) {
+    if (ctx && (s & 8191) == 0) {
+      if (ctx->expired()) break;
+      if (work_budget != 0 &&
+          work_done->fetch_add(8192, std::memory_order_relaxed) + 8192 >=
+              work_budget) {
+        break;
+      }
+    }
     state.flip(static_cast<VarIndex>(std::countr_zero(s)));
     if (state.energy() < best_e) {
       best_e = state.energy();
@@ -37,7 +46,8 @@ BaselineResult ExhaustiveSolver::solve_block(const QuboModel& model,
   return {best, best_e, state.flip_count(), 0.0};
 }
 
-BaselineResult ExhaustiveSolver::solve(const QuboModel& model) const {
+BaselineResult ExhaustiveSolver::run(const QuboModel& model,
+                                     const StopContext* ctx) const {
   const std::size_t n = model.size();
   DABS_CHECK(n <= max_bits_, "model too large for exhaustive enumeration");
   Stopwatch clock;
@@ -51,8 +61,12 @@ BaselineResult ExhaustiveSolver::solve(const QuboModel& model) const {
   }
   if (threads_ == 1 || n < 2) prefix_bits = 0;
 
+  // Shared enumeration-step counter so a StopCondition work budget bounds
+  // the run across all workers (checked once per 8192-step stride).
+  std::atomic<std::uint64_t> work_done{0};
+
   if (prefix_bits == 0) {
-    BaselineResult r = solve_block(model, 0, 0);
+    BaselineResult r = solve_block(model, 0, 0, ctx, &work_done);
     r.elapsed_seconds = clock.elapsed_seconds();
     return r;
   }
@@ -63,7 +77,7 @@ BaselineResult ExhaustiveSolver::solve(const QuboModel& model) const {
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
-      results[w] = solve_block(model, w, prefix_bits);
+      results[w] = solve_block(model, w, prefix_bits, ctx, &work_done);
     });
   }
   for (auto& t : pool) t.join();
@@ -78,6 +92,20 @@ BaselineResult ExhaustiveSolver::solve(const QuboModel& model) const {
   }
   out.elapsed_seconds = clock.elapsed_seconds();
   return out;
+}
+
+BaselineResult ExhaustiveSolver::solve(const QuboModel& model) const {
+  return run(model, nullptr);
+}
+
+SolveReport ExhaustiveSolver::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  StopContext ctx = StopContext::for_request(request);
+  BaselineResult r = run(model, &ctx);
+  ctx.add_work(r.flips);
+  ctx.note_best(r.best_energy);
+  (void)ctx.should_stop();  // latch cancellation for the report
+  return make_report(name(), std::move(r), ctx);
 }
 
 }  // namespace dabs

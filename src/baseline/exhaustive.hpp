@@ -9,14 +9,17 @@
 // exhaustive search (paper reference [8]).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "baseline/baseline_result.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver.hpp"
 #include "qubo/qubo_model.hpp"
 
 namespace dabs {
 
-class ExhaustiveSolver {
+class ExhaustiveSolver : public Solver {
  public:
   /// Refuses models with more than `max_bits` variables (guard against
   /// accidental 2^2000 enumerations).  `threads` is rounded down to a
@@ -25,11 +28,24 @@ class ExhaustiveSolver {
                             std::uint32_t threads = 1)
       : max_bits_(max_bits), threads_(threads == 0 ? 1 : threads) {}
 
+  /// Legacy entry: runs the enumeration to completion.
   BaselineResult solve(const QuboModel& model) const;
 
+  /// Unified-interface entry.  An exact enumerator ignores seeds and warm
+  /// starts; a time limit, work budget, or fired stop token ends the run
+  /// early with the best-so-far (the report's `cancelled`/partial flips
+  /// say so).  Workers poll the stop protocol every 8192 steps.
+  SolveReport solve(const SolveRequest& request) override;
+
+  std::string_view name() const noexcept override { return "exhaustive"; }
+
  private:
+  /// `ctx` may be null (no early exit); workers use the thread-safe
+  /// polling subset plus the shared `work_done` step counter only.
   BaselineResult solve_block(const QuboModel& model, std::uint64_t prefix,
-                             std::size_t prefix_bits) const;
+                             std::size_t prefix_bits, const StopContext* ctx,
+                             std::atomic<std::uint64_t>* work_done) const;
+  BaselineResult run(const QuboModel& model, const StopContext* ctx) const;
 
   std::size_t max_bits_;
   std::uint32_t threads_;

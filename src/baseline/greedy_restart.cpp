@@ -13,25 +13,43 @@ GreedyRestart::GreedyRestart(GreedyRestartParams params) : params_(params) {
 }
 
 BaselineResult GreedyRestart::solve(const QuboModel& model) const {
-  Stopwatch clock;
-  Rng rng(params_.seed);
+  StopCondition stop;
+  stop.time_limit_seconds = params_.time_limit_seconds;
+  StopContext ctx(stop);
+  return run(model, params_.seed, {}, ctx);
+}
+
+SolveReport GreedyRestart::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  StopContext ctx =
+      StopContext::for_request(request, params_.time_limit_seconds);
+  BaselineResult r = run(model, request.seed.value_or(params_.seed),
+                         request.warm_start, ctx);
+  return make_report(name(), std::move(r), ctx);
+}
+
+BaselineResult GreedyRestart::run(const QuboModel& model, std::uint64_t seed,
+                                  const std::vector<BitVector>& warm_start,
+                                  StopContext& ctx) const {
+  Rng rng(seed);
   SearchState state(model);
   BaselineResult result;
 
   for (std::uint64_t r = 0; r < params_.restarts; ++r) {
-    state.reset_to(random_bit_vector(model.size(), rng));
+    state.reset_to(r < warm_start.size()
+                       ? warm_start[r]
+                       : random_bit_vector(model.size(), rng));
     greedy_descent(state);
+    ctx.add_work(state.flip_count());
     if (state.best_energy() < result.best_energy) {
       result.best_energy = state.best_energy();
       result.best_solution = state.best();
+      ctx.note_best(result.best_energy);
     }
     result.flips += state.flip_count();
-    if (params_.time_limit_seconds > 0 &&
-        clock.elapsed_seconds() >= params_.time_limit_seconds) {
-      break;
-    }
+    if (ctx.should_stop()) break;
   }
-  result.elapsed_seconds = clock.elapsed_seconds();
+  result.elapsed_seconds = ctx.elapsed_seconds();
   return result;
 }
 

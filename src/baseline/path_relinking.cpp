@@ -18,38 +18,59 @@ PathRelinking::PathRelinking(PathRelinkingParams params) : params_(params) {
 }
 
 BaselineResult PathRelinking::solve(const QuboModel& model) const {
-  Stopwatch clock;
-  Rng rng(params_.seed);
+  StopCondition stop;
+  stop.time_limit_seconds = params_.time_limit_seconds;
+  StopContext ctx(stop);
+  return run(model, params_.seed, {}, ctx);
+}
+
+SolveReport PathRelinking::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  StopContext ctx =
+      StopContext::for_request(request, params_.time_limit_seconds);
+  BaselineResult r = run(model, request.seed.value_or(params_.seed),
+                         request.warm_start, ctx);
+  return make_report(name(), std::move(r), ctx);
+}
+
+BaselineResult PathRelinking::run(const QuboModel& model, std::uint64_t seed,
+                                  const std::vector<BitVector>& warm_start,
+                                  StopContext& ctx) const {
+  Rng rng(seed);
   SearchState state(model);
   BaselineResult result;
 
-  auto out_of_time = [&] {
-    return params_.time_limit_seconds > 0 &&
-           clock.elapsed_seconds() >= params_.time_limit_seconds;
-  };
   auto consider = [&](const BitVector& x, Energy e) {
     if (e < result.best_energy) {
       result.best_energy = e;
       result.best_solution = x;
+      ctx.note_best(e);
     }
   };
 
-  // Phase 1: build the elite set from greedy multistart.
+  // Phase 1: build the elite set from greedy multistart (warm starts are
+  // polished into elites first, then random starts fill the remainder).
+  // The first descent always runs so even a pre-fired stop token yields a
+  // valid best solution.
   std::vector<std::pair<BitVector, Energy>> elite;
-  for (std::uint64_t r = 0; r < params_.elite_size && !out_of_time(); ++r) {
-    state.reset_to(random_bit_vector(model.size(), rng));
+  for (std::uint64_t r = 0;
+       r < params_.elite_size && (r == 0 || !ctx.should_stop()); ++r) {
+    state.reset_to(r < warm_start.size()
+                       ? warm_start[r]
+                       : random_bit_vector(model.size(), rng));
     greedy_descent(state);
+    ctx.add_work(state.flip_count());
     elite.emplace_back(state.best(), state.best_energy());
     consider(state.best(), state.best_energy());
     result.flips += state.flip_count();
   }
   if (elite.size() < 2) {
-    result.elapsed_seconds = clock.elapsed_seconds();
+    result.elapsed_seconds = ctx.elapsed_seconds();
     return result;
   }
 
   // Phase 2: relink random elite pairs; polish the path's best point.
-  for (std::uint64_t r = 0; r < params_.relinks && !out_of_time(); ++r) {
+  for (std::uint64_t r = 0; r < params_.relinks && !ctx.should_stop(); ++r) {
     const std::size_t a = rng.next_index(elite.size());
     std::size_t b = rng.next_index(elite.size() - 1);
     if (b >= a) ++b;
@@ -57,6 +78,7 @@ BaselineResult PathRelinking::solve(const QuboModel& model) const {
     straight_walk(state, elite[b].first);  // BEST tracks the whole path
     state.reset_to(state.best());
     greedy_descent(state);
+    ctx.add_work(state.flip_count());
     consider(state.best(), state.best_energy());
     result.flips += state.flip_count();
 
@@ -68,7 +90,7 @@ BaselineResult PathRelinking::solve(const QuboModel& model) const {
       *worst = {state.best(), state.best_energy()};
     }
   }
-  result.elapsed_seconds = clock.elapsed_seconds();
+  result.elapsed_seconds = ctx.elapsed_seconds();
   return result;
 }
 

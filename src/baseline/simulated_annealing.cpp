@@ -10,11 +10,6 @@
 
 namespace dabs {
 
-double energy_gap(Energy found, Energy reference) {
-  if (reference == 0) return found == 0 ? 0.0 : 1.0;
-  return double(found - reference) / std::abs(double(reference));
-}
-
 SimulatedAnnealing::SimulatedAnnealing(SaParams params) : params_(params) {
   DABS_CHECK(params_.sweeps > 0, "at least one sweep");
   DABS_CHECK(params_.t_final > 0, "final temperature must be positive");
@@ -34,15 +29,39 @@ double calibrate_t0(const SearchState& state) {
 }  // namespace
 
 BaselineResult SimulatedAnnealing::solve(const QuboModel& model) const {
-  Stopwatch clock;
-  MersenneSeeder seeder(params_.seed);
+  StopCondition stop;
+  stop.time_limit_seconds = params_.time_limit_seconds;
+  StopContext ctx(stop);
+  return run(model, params_.seed, {}, ctx);
+}
+
+SolveReport SimulatedAnnealing::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  StopContext ctx =
+      StopContext::for_request(request, params_.time_limit_seconds);
+  BaselineResult r = run(model, request.seed.value_or(params_.seed),
+                         request.warm_start, ctx);
+  return make_report(name(), std::move(r), ctx);
+}
+
+BaselineResult SimulatedAnnealing::run(const QuboModel& model,
+                                       std::uint64_t seed,
+                                       const std::vector<BitVector>& warm_start,
+                                       StopContext& ctx) const {
+  MersenneSeeder seeder(seed);
   SearchState state(model);
   BaselineResult result;
   const auto n = static_cast<VarIndex>(model.size());
 
-  for (std::uint64_t run = 0; run < params_.restarts; ++run) {
+  // Restart 0 always runs (its first sweep at least), so even a pre-fired
+  // stop token yields a valid best solution — same guarantee as the other
+  // restart-style baselines.
+  for (std::uint64_t r = 0;
+       r < params_.restarts && (r == 0 || !ctx.should_stop()); ++r) {
     Rng rng = seeder.next_rng();
-    state.reset_to(random_bit_vector(model.size(), rng));
+    state.reset_to(r < warm_start.size()
+                       ? warm_start[r]
+                       : random_bit_vector(model.size(), rng));
 
     const double t0 =
         params_.t_initial > 0 ? params_.t_initial : calibrate_t0(state);
@@ -54,8 +73,8 @@ BaselineResult SimulatedAnnealing::solve(const QuboModel& model) const {
             : 1.0;
 
     double temp = t0;
-    bool out_of_time = false;
-    for (std::uint64_t s = 0; s < params_.sweeps && !out_of_time; ++s) {
+    std::uint64_t flips_before = 0;
+    for (std::uint64_t s = 0; s < params_.sweeps; ++s) {
       for (VarIndex i = 0; i < n; ++i) {
         const Energy d = state.delta(i);
         if (d <= 0 || rng.next_unit() < std::exp(-double(d) / temp)) {
@@ -63,19 +82,23 @@ BaselineResult SimulatedAnnealing::solve(const QuboModel& model) const {
         }
       }
       temp *= alpha;
-      if (params_.time_limit_seconds > 0 &&
-          clock.elapsed_seconds() >= params_.time_limit_seconds) {
-        out_of_time = true;
+      ctx.add_work(state.flip_count() - flips_before);
+      flips_before = state.flip_count();
+      if (state.best_energy() < result.best_energy) {
+        result.best_energy = state.best_energy();
+        result.best_solution = state.best();
+        ctx.note_best(result.best_energy);
       }
+      if (ctx.should_stop()) break;
     }
     if (state.best_energy() < result.best_energy) {
       result.best_energy = state.best_energy();
       result.best_solution = state.best();
+      ctx.note_best(result.best_energy);
     }
     result.flips += state.flip_count();
-    if (out_of_time) break;
   }
-  result.elapsed_seconds = clock.elapsed_seconds();
+  result.elapsed_seconds = ctx.elapsed_seconds();
   return result;
 }
 

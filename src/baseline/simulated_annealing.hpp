@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "baseline/baseline_result.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver.hpp"
 #include "qubo/qubo_model.hpp"
 
 namespace dabs {
@@ -24,13 +26,24 @@ struct SaParams {
   std::uint64_t restarts = 1;       // independent annealing runs
 };
 
-class SimulatedAnnealing {
+class SimulatedAnnealing : public Solver {
  public:
   explicit SimulatedAnnealing(SaParams params = {});
 
+  /// Legacy entry: budget and seed come from SaParams alone.
   BaselineResult solve(const QuboModel& model) const;
 
+  /// Unified-interface entry: request stop/seed/warm-start/observer win
+  /// over the params; restart r starts from warm_start[r] when provided.
+  SolveReport solve(const SolveRequest& request) override;
+
+  std::string_view name() const noexcept override { return "sa"; }
+
  private:
+  BaselineResult run(const QuboModel& model, std::uint64_t seed,
+                     const std::vector<BitVector>& warm_start,
+                     StopContext& ctx) const;
+
   SaParams params_;
 };
 

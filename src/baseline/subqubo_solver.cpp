@@ -47,23 +47,39 @@ std::vector<VarIndex> biased_subset(const SearchState& state, std::size_t k,
 }  // namespace
 
 BaselineResult SubQuboSolver::solve(const QuboModel& model) const {
-  Stopwatch clock;
-  MersenneSeeder seeder(params_.seed);
+  StopCondition stop;
+  stop.time_limit_seconds = params_.time_limit_seconds;
+  StopContext ctx(stop);
+  return run(model, params_.seed, {}, ctx);
+}
+
+SolveReport SubQuboSolver::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  StopContext ctx =
+      StopContext::for_request(request, params_.time_limit_seconds);
+  BaselineResult r = run(model, request.seed.value_or(params_.seed),
+                         request.warm_start, ctx);
+  return make_report(name(), std::move(r), ctx);
+}
+
+BaselineResult SubQuboSolver::run(const QuboModel& model, std::uint64_t seed,
+                                  const std::vector<BitVector>& warm_start,
+                                  StopContext& ctx) const {
+  MersenneSeeder seeder(seed);
   const std::size_t k =
       std::min<std::size_t>(params_.subset_size, model.size());
   const ExhaustiveSolver exact(26);
 
   BaselineResult result;
-  for (std::uint64_t run = 0; run < params_.restarts; ++run) {
+  for (std::uint64_t r = 0; r < params_.restarts; ++r) {
     Rng rng = seeder.next_rng();
     SearchState state(model);
-    state.reset_to(random_bit_vector(model.size(), rng));
+    state.reset_to(r < warm_start.size()
+                       ? warm_start[r]
+                       : random_bit_vector(model.size(), rng));
 
     for (std::uint64_t it = 0; it < params_.iterations; ++it) {
-      if (params_.time_limit_seconds > 0 &&
-          clock.elapsed_seconds() >= params_.time_limit_seconds) {
-        break;
-      }
+      if (ctx.should_stop()) break;
       const std::vector<VarIndex> subset = biased_subset(state, k, rng);
       const SubQubo sub = extract_subqubo(model, state.solution(), subset);
       const BaselineResult best_sub = exact.solve(sub.model);
@@ -73,13 +89,21 @@ BaselineResult SubQuboSolver::solve(const QuboModel& model) const {
             apply_subsolution(state.solution(), sub, best_sub.best_solution));
       }
       result.flips += best_sub.flips;
+      ctx.add_work(best_sub.flips);
+      if (state.best_energy() < result.best_energy) {
+        result.best_energy = state.best_energy();
+        result.best_solution = state.best();
+        ctx.note_best(result.best_energy);
+      }
     }
     if (state.best_energy() < result.best_energy) {
       result.best_energy = state.best_energy();
       result.best_solution = state.best();
+      ctx.note_best(result.best_energy);
     }
+    if (ctx.should_stop()) break;
   }
-  result.elapsed_seconds = clock.elapsed_seconds();
+  result.elapsed_seconds = ctx.elapsed_seconds();
   return result;
 }
 

@@ -15,14 +15,37 @@ TabuSearch::TabuSearch(TabuSearchParams params) : params_(params) {
 }
 
 BaselineResult TabuSearch::solve(const QuboModel& model) const {
-  Stopwatch clock;
-  Rng rng(params_.seed);
+  StopCondition stop;
+  stop.time_limit_seconds = params_.time_limit_seconds;
+  StopContext ctx(stop);
+  return run(model, params_.seed, {}, ctx);
+}
+
+SolveReport TabuSearch::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  StopContext ctx =
+      StopContext::for_request(request, params_.time_limit_seconds);
+  BaselineResult r = run(model, request.seed.value_or(params_.seed),
+                         request.warm_start, ctx);
+  return make_report(name(), std::move(r), ctx);
+}
+
+BaselineResult TabuSearch::run(const QuboModel& model, std::uint64_t seed,
+                               const std::vector<BitVector>& warm_start,
+                               StopContext& ctx) const {
+  Rng rng(seed);
   SearchState state(model);
-  state.reset_to(random_bit_vector(model.size(), rng));
+  state.reset_to(warm_start.empty() ? random_bit_vector(model.size(), rng)
+                                    : warm_start.front());
   TabuList tabu(model.size(), params_.tenure);
   const auto n = static_cast<VarIndex>(model.size());
+  Energy best_seen = kInfiniteEnergy;
 
-  for (std::uint64_t it = 0; it < params_.iterations; ++it) {
+  // StopContext is polled every iteration: one iteration scans all n
+  // deltas, so the clock read is noise and the run honors tight budgets
+  // at the same granularity as the other baselines (no 256-step stride).
+  for (std::uint64_t it = 0; it < params_.iterations && !ctx.should_stop();
+       ++it) {
     const std::uint64_t now = state.flip_count();
     Energy best_d = std::numeric_limits<Energy>::max();
     VarIndex pick = n;
@@ -40,14 +63,15 @@ BaselineResult TabuSearch::solve(const QuboModel& model) const {
     state.scan();  // keep BEST in sync with 1-bit neighborhoods
     tabu.record(pick, now + 1);
     state.flip(pick);
-    if (params_.time_limit_seconds > 0 && (it & 255) == 0 &&
-        clock.elapsed_seconds() >= params_.time_limit_seconds) {
-      break;
+    ctx.add_work(1);
+    if (state.best_energy() < best_seen) {
+      best_seen = state.best_energy();
+      ctx.note_best(best_seen);
     }
   }
 
   return {state.best(), state.best_energy(), state.flip_count(),
-          clock.elapsed_seconds()};
+          ctx.elapsed_seconds()};
 }
 
 }  // namespace dabs

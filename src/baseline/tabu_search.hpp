@@ -7,6 +7,8 @@
 #include <cstdint>
 
 #include "baseline/baseline_result.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver.hpp"
 #include "qubo/qubo_model.hpp"
 
 namespace dabs {
@@ -18,13 +20,24 @@ struct TabuSearchParams {
   double time_limit_seconds = 0.0;    // 0 = no limit
 };
 
-class TabuSearch {
+class TabuSearch : public Solver {
  public:
   explicit TabuSearch(TabuSearchParams params = {});
 
+  /// Legacy entry: budget and seed come from TabuSearchParams alone.
   BaselineResult solve(const QuboModel& model) const;
 
+  /// Unified-interface entry: request stop/seed/warm-start/observer win
+  /// over the params; the walk starts from warm_start[0] when provided.
+  SolveReport solve(const SolveRequest& request) override;
+
+  std::string_view name() const noexcept override { return "tabu"; }
+
  private:
+  BaselineResult run(const QuboModel& model, std::uint64_t seed,
+                     const std::vector<BitVector>& warm_start,
+                     StopContext& ctx) const;
+
   TabuSearchParams params_;
 };
 

@@ -7,6 +7,18 @@
 
 namespace dabs {
 
+void accumulate_trial(CampaignResult& out, Energy target, Energy best_energy,
+                      bool reached_target, double tts_seconds) {
+  ++out.runs;
+  out.final_energies.push_back(best_energy);
+  if (best_energy < out.best_energy) out.best_energy = best_energy;
+  if (reached_target && best_energy <= target) {
+    ++out.successes;
+    out.tts.add(tts_seconds);
+    out.tts_samples.push_back(tts_seconds);
+  }
+}
+
 CampaignResult Campaign::run(const QuboModel& model, Energy target) const {
   return run_with(model, target,
                   [&model](std::size_t, const SolverConfig& cfg) {
@@ -25,16 +37,36 @@ CampaignResult Campaign::run_with(
     cfg.seed = base_.seed + 0x9e3779b97f4a7c15ull * (t + 1);
     cfg.stop.target_energy = target;
     const SolveResult r = solve_trial(t, cfg);
-    ++out.runs;
-    out.final_energies.push_back(r.best_energy);
-    if (r.best_energy < out.best_energy) out.best_energy = r.best_energy;
-    if (r.reached_target && r.best_energy <= target) {
-      ++out.successes;
-      out.tts.add(r.tts_seconds);
-      out.tts_samples.push_back(r.tts_seconds);
-    }
+    accumulate_trial(out, target, r.best_energy, r.reached_target,
+                     r.tts_seconds);
   }
   (void)model;
+  return out;
+}
+
+SolveRequest Campaign::make_trial_request(const QuboModel& model,
+                                          Energy target, std::size_t trial,
+                                          const SolveRequest& proto) const {
+  SolveRequest req = proto;  // keeps stop_token / observer / tick_seconds
+  req.model = &model;
+  req.seed = base_.seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+  req.stop = base_.stop;
+  req.stop.target_energy = target;
+  req.warm_start = base_.warm_start;
+  return req;
+}
+
+CampaignResult Campaign::run_solver(const QuboModel& model, Energy target,
+                                    Solver& solver,
+                                    const SolveRequest& proto) const {
+  DABS_CHECK(trials_ > 0, "campaign needs at least one trial");
+  CampaignResult out;
+  for (std::size_t t = 0; t < trials_; ++t) {
+    const SolveReport r =
+        solver.solve(make_trial_request(model, target, t, proto));
+    accumulate_trial(out, target, r.best_energy, r.reached_target,
+                     r.tts_seconds);
+  }
   return out;
 }
 

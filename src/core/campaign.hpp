@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dabs_solver.hpp"
+#include "core/solver.hpp"
 #include "qubo/qubo_model.hpp"
 #include "util/stats.hpp"
 
@@ -47,10 +48,32 @@ class Campaign {
       const std::function<SolveResult(std::size_t, const SolverConfig&)>&
           solve_trial) const;
 
+  /// Runs any registry solver through the identical protocol: trial t gets
+  /// the same derived seed and per-trial budget (the base config's stop
+  /// condition) as run() would hand a DabsSolver, with the target energy
+  /// installed, via the unified Solver interface.  `proto` contributes the
+  /// run-scoped hooks shared by every trial — stop token, observer, tick
+  /// period — while its model/seed/stop fields are overridden by the
+  /// protocol.
+  CampaignResult run_solver(const QuboModel& model, Energy target,
+                            Solver& solver,
+                            const SolveRequest& proto = {}) const;
+
+  /// The SolveRequest trial t of this campaign would issue — exposed so
+  /// parallel runners and tests reproduce the exact protocol.
+  SolveRequest make_trial_request(const QuboModel& model, Energy target,
+                                  std::size_t trial,
+                                  const SolveRequest& proto = {}) const;
+
  private:
   SolverConfig base_;
   std::size_t trials_;
 };
+
+/// Folds one trial outcome into the aggregate (shared by the campaign
+/// runners so every solver is scored by the identical rules).
+void accumulate_trial(CampaignResult& out, Energy target, Energy best_energy,
+                      bool reached_target, double tts_seconds);
 
 /// Establishes a "potentially optimal" reference (paper §I-B, condition 1):
 /// the best energy found by one long exploration run with `budget_seconds`.

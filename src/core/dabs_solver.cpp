@@ -24,7 +24,13 @@ struct RunContext {
   Stopwatch clock;
   RunStats stats;
 
+  /// Run-scoped cancellation / progress hooks (null on the legacy path).
+  const StopToken* token = nullptr;
+  ProgressObserver* observer = nullptr;
+  double tick_seconds = 0.0;
+
   std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
   std::atomic<std::uint64_t> generated{0};
   std::atomic<std::uint32_t> restarts{0};
 
@@ -33,6 +39,9 @@ struct RunContext {
   Energy best_energy = kInfiniteEnergy;
   bool reached_target = false;
   double tts_seconds = 0.0;
+
+  std::mutex tick_mu;
+  double last_tick = 0.0;
 
   RunContext(const SolverConfig& c, const QuboModel& m, IslandRing& r)
       : cfg(c), model(m), ring(r),
@@ -43,19 +52,29 @@ struct RunContext {
   void handle_result(const Packet& p) {
     ring.pool(p.pool_index)
         .insert({p.solution, p.energy, p.algo, p.op});
-    std::lock_guard lock(best_mu);
-    if (p.energy < best_energy) {
-      best_energy = p.energy;
-      best = p.solution;
-      stats.record_improvement(clock.elapsed_seconds(), p.energy, p.algo,
-                               p.op);
-      if (cfg.stop.target_energy && p.energy <= *cfg.stop.target_energy &&
-          !reached_target) {
-        reached_target = true;
-        tts_seconds = clock.elapsed_seconds();
-        stop.store(true, std::memory_order_release);
+    bool improved = false;
+    ProgressEvent event;
+    {
+      std::lock_guard lock(best_mu);
+      if (p.energy < best_energy) {
+        best_energy = p.energy;
+        best = p.solution;
+        stats.record_improvement(clock.elapsed_seconds(), p.energy, p.algo,
+                                 p.op);
+        improved = true;
+        event = {clock.elapsed_seconds(), p.energy,
+                 generated.load(std::memory_order_relaxed)};
+        if (cfg.stop.target_energy && p.energy <= *cfg.stop.target_energy &&
+            !reached_target) {
+          reached_target = true;
+          tts_seconds = clock.elapsed_seconds();
+          stop.store(true, std::memory_order_release);
+        }
       }
     }
+    // Outside best_mu: a slow observer must not stall the other host
+    // threads (or deadlock by re-entering the solver surface).
+    if (improved && observer) observer->on_new_best(event);
   }
 
   /// Builds the next host->device packet for pool `i`.
@@ -74,9 +93,14 @@ struct RunContext {
     return p;
   }
 
-  /// Wall-clock / batch-budget stop checks (target checks live in
+  /// Wall-clock / batch-budget / stop-token checks (target checks live in
   /// handle_result).  Returns true when the run should end.
   bool budget_exhausted() {
+    if (token && token->stop_requested()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    maybe_tick();
     if (cfg.stop.time_limit_seconds > 0.0 &&
         clock.elapsed_seconds() >= cfg.stop.time_limit_seconds) {
       return true;
@@ -86,6 +110,26 @@ struct RunContext {
       return true;
     }
     return false;
+  }
+
+  /// Fires ProgressObserver::on_tick at most once per tick_seconds across
+  /// all host threads.  last_tick is claimed under tick_mu, then the
+  /// callback runs lock-free (same rationale as handle_result).
+  void maybe_tick() {
+    if (!observer || tick_seconds <= 0.0) return;
+    double now;
+    {
+      std::lock_guard tick_lock(tick_mu);
+      now = clock.elapsed_seconds();
+      if (now - last_tick < tick_seconds) return;
+      last_tick = now;
+    }
+    Energy e;
+    {
+      std::lock_guard best_lock(best_mu);
+      e = best_energy;
+    }
+    observer->on_tick({now, e, generated.load(std::memory_order_relaxed)});
   }
 
   /// Restarts all pools when the ring has merged (paper §IV-B).
@@ -172,35 +216,39 @@ void run_synchronous(RunContext& ctx, DeviceGroup& group,
   }
 }
 
-}  // namespace
-
-DabsSolver::DabsSolver(SolverConfig config) : config_(std::move(config)) {
-  config_.validate();
-}
-
-SolveResult DabsSolver::solve(const QuboModel& model) {
+/// One full framework run.  `token`/`observer` are null on the legacy
+/// SolveResult path; the added checks are branch-only, so synchronous runs
+/// stay bit-identical with or without them.
+SolveResult run_dabs(const SolverConfig& cfg, const QuboModel& model,
+                     const StopToken* token, ProgressObserver* observer,
+                     double tick_seconds) {
   DABS_CHECK(model.size() > 0, "cannot solve an empty model");
-  MersenneSeeder seeder(config_.seed);
-  IslandRing ring(config_.devices, config_.pool_capacity, model.size(),
-                  seeder);
-  DeviceGroup group(model, config_.devices, config_.device, seeder);
-  RunContext ctx(config_, model, ring);
+  DABS_CHECK(!cfg.stop.unbounded(),
+             "refusing an unbounded run: set a target energy, time limit, "
+             "work budget, or cancel via a bounded request");
+  MersenneSeeder seeder(cfg.seed);
+  IslandRing ring(cfg.devices, cfg.pool_capacity, model.size(), seeder);
+  DeviceGroup group(model, cfg.devices, cfg.device, seeder);
+  RunContext ctx(cfg, model, ring);
+  ctx.token = token;
+  ctx.observer = observer;
+  ctx.tick_seconds = tick_seconds;
 
   // Seed the pools (and the global best) with any warm-start solutions.
-  for (std::size_t i = 0; i < config_.warm_start.size(); ++i) {
-    const BitVector& x = config_.warm_start[i];
+  for (std::size_t i = 0; i < cfg.warm_start.size(); ++i) {
+    const BitVector& x = cfg.warm_start[i];
     DABS_CHECK(x.size() == model.size(),
                "warm-start solution length mismatch");
     Packet p;
     p.solution = x;
     p.energy = model.energy(x);
-    p.algo = config_.algorithms[i % config_.algorithms.size()];
-    p.op = config_.operations[i % config_.operations.size()];
-    p.pool_index = static_cast<std::uint32_t>(i % config_.devices);
+    p.algo = cfg.algorithms[i % cfg.algorithms.size()];
+    p.op = cfg.operations[i % cfg.operations.size()];
+    p.pool_index = static_cast<std::uint32_t>(i % cfg.devices);
     ctx.handle_result(p);
   }
 
-  if (config_.mode == ExecutionMode::kThreaded) {
+  if (cfg.mode == ExecutionMode::kThreaded) {
     run_threaded(ctx, group, seeder);
   } else {
     run_synchronous(ctx, group, seeder);
@@ -214,8 +262,30 @@ SolveResult DabsSolver::solve(const QuboModel& model) {
   r.elapsed_seconds = ctx.clock.elapsed_seconds();
   r.batches = ctx.generated.load();
   r.restarts = ctx.restarts.load();
+  r.cancelled = ctx.cancelled.load();
   r.stats = ctx.stats.snapshot();
   return r;
+}
+
+}  // namespace
+
+DabsSolver::DabsSolver(SolverConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+SolveResult DabsSolver::solve(const QuboModel& model) {
+  return run_dabs(config_, model, nullptr, nullptr, 0.0);
+}
+
+SolveReport DabsSolver::solve(const SolveRequest& request) {
+  const QuboModel& model = request_model(request);
+  SolverConfig cfg = config_;
+  if (!request.stop.unbounded()) cfg.stop = request.stop;
+  if (request.seed) cfg.seed = *request.seed;
+  if (!request.warm_start.empty()) cfg.warm_start = request.warm_start;
+  const SolveResult r = run_dabs(cfg, model, &request.stop_token,
+                                 request.observer, request.tick_seconds);
+  return make_report(name(), r);
 }
 
 }  // namespace dabs

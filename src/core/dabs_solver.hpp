@@ -25,6 +25,8 @@
 #include <mutex>
 
 #include "core/run_stats.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver.hpp"
 #include "core/solver_config.hpp"
 #include "qubo/qubo_model.hpp"
 #include "util/bit_vector.hpp"
@@ -41,18 +43,28 @@ struct SolveResult {
   double elapsed_seconds = 0.0;
   std::uint64_t batches = 0;
   std::uint32_t restarts = 0;
+  /// True when the run ended because a SolveRequest stop token fired.
+  bool cancelled = false;
   RunStatsSnapshot stats;
 };
 
-class DabsSolver {
+class DabsSolver : public Solver {
  public:
   explicit DabsSolver(SolverConfig config = {});
 
   const SolverConfig& config() const noexcept { return config_; }
 
   /// Runs the framework on `model` until a stop condition fires.
-  /// Re-entrant: each call builds fresh pools/devices.
+  /// Re-entrant: each call builds fresh pools/devices.  The config's stop
+  /// condition must be bounded.
   SolveResult solve(const QuboModel& model);
+
+  /// Unified-interface entry: the request's stop condition / seed /
+  /// warm-start override the config's when set, and the stop token and
+  /// observer are honored by both execution modes.
+  SolveReport solve(const SolveRequest& request) override;
+
+  std::string_view name() const noexcept override { return "dabs"; }
 
  private:
   SolverConfig config_;

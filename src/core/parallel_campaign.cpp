@@ -57,4 +57,34 @@ CampaignResult ParallelCampaign::run(const QuboModel& model,
   return out;
 }
 
+CampaignResult ParallelCampaign::run_solver(const QuboModel& model,
+                                            Energy target, Solver& solver,
+                                            const SolveRequest& proto) const {
+  const Campaign protocol(base_, trials_);
+  std::vector<SolveReport> reports(trials_);
+
+  ThreadPool pool(threads_);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(trials_);
+  for (std::size_t t = 0; t < trials_; ++t) {
+    tasks.push_back([&protocol, &model, &reports, &solver, &proto, target,
+                     t] {
+      // Same single-write-per-slot discipline as run(): the request and
+      // all solver state are thread-local; only reports[t] is shared.
+      SolveReport local =
+          solver.solve(protocol.make_trial_request(model, target, t, proto));
+      reports[t] = std::move(local);
+    });
+  }
+  pool.submit_batch(std::move(tasks));
+  pool.wait_idle();
+
+  CampaignResult out;
+  for (const SolveReport& r : reports) {
+    accumulate_trial(out, target, r.best_energy, r.reached_target,
+                     r.tts_seconds);
+  }
+  return out;
+}
+
 }  // namespace dabs

@@ -20,6 +20,17 @@ class ParallelCampaign {
 
   CampaignResult run(const QuboModel& model, Energy target) const;
 
+  /// Distributes the same per-trial protocol over any Solver.  Relies on
+  /// the interface contract that solve() is safe to call concurrently on
+  /// one instance; for bulk solvers pass a synchronous-mode configuration
+  /// to keep individual trials bit-reproducible.  `proto` contributes the
+  /// shared stop token / observer / tick period (see
+  /// Campaign::run_solver); an observer here must be thread-safe, since
+  /// concurrent trials call it.
+  CampaignResult run_solver(const QuboModel& model, Energy target,
+                            Solver& solver,
+                            const SolveRequest& proto = {}) const;
+
  private:
   SolverConfig base_;
   std::size_t trials_;

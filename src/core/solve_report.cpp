@@ -1,0 +1,87 @@
+#include "core/solve_report.hpp"
+
+#include <sstream>
+
+#include "baseline/baseline_result.hpp"
+#include "core/dabs_solver.hpp"
+#include "core/solver.hpp"
+#include "io/json_writer.hpp"
+
+namespace dabs {
+
+void SolveReport::write_json(io::JsonWriter& json,
+                             const std::string& key) const {
+  json.begin_object(key)
+      .value("solver", solver)
+      .value("best_energy", best_energy)
+      .value("reached_target", reached_target)
+      .value("tts_seconds", tts_seconds)
+      .value("elapsed_seconds", elapsed_seconds)
+      .value("flips", flips)
+      .value("batches", batches)
+      .value("restarts", restarts)
+      .value("cancelled", cancelled);
+  json.begin_object("extras");
+  for (const auto& [k, v] : extras) json.value(k, v);
+  json.end_object();
+  json.end_object();
+}
+
+std::string SolveReport::to_string() const {
+  std::ostringstream os;
+  os << "solver      : " << solver << "\n"
+     << "best energy : " << best_energy << "\n"
+     << "elapsed     : " << elapsed_seconds << "s\n";
+  if (reached_target) os << "TTS         : " << tts_seconds << "s\n";
+  if (batches != 0) os << "batches     : " << batches << "\n";
+  if (flips != 0) os << "flips       : " << flips << "\n";
+  if (restarts != 0) os << "restarts    : " << restarts << "\n";
+  if (cancelled) os << "cancelled   : yes\n";
+  for (const auto& [k, v] : extras) os << k << " = " << v << "\n";
+  return os.str();
+}
+
+SolveReport make_report(std::string_view solver, const SolveResult& result) {
+  SolveReport rep;
+  rep.solver = std::string(solver);
+  rep.best_solution = result.best_solution;
+  rep.best_energy = result.best_energy;
+  rep.reached_target = result.reached_target;
+  rep.tts_seconds = result.tts_seconds;
+  rep.elapsed_seconds = result.elapsed_seconds;
+  rep.batches = result.batches;
+  rep.restarts = result.restarts;
+  rep.cancelled = result.cancelled;
+  MainSearch algo;
+  GeneticOp op;
+  if (result.stats.first_finder(algo, op)) {
+    rep.extras.emplace("first_finder_algo", to_string(algo));
+    rep.extras.emplace("first_finder_op", to_string(op));
+  }
+  rep.extras.emplace("improvements",
+                     std::to_string(result.stats.improvements.size()));
+  return rep;
+}
+
+SolveReport make_report(std::string_view solver, BaselineResult result,
+                        const StopContext& ctx) {
+  SolveReport rep;
+  rep.solver = std::string(solver);
+  rep.best_solution = std::move(result.best_solution);
+  rep.best_energy = result.best_energy;
+  rep.flips = result.flips;
+  rep.elapsed_seconds = result.elapsed_seconds;
+  rep.cancelled = ctx.cancelled();
+  rep.reached_target = ctx.reached_target();
+  rep.tts_seconds = ctx.tts_seconds();
+  // Belt-and-braces: a solver that only discovered its best at merge time
+  // (e.g. exhaustive workers) still reports the target correctly.
+  const auto& target = ctx.condition().target_energy;
+  if (!rep.reached_target && target && rep.best_energy <= *target) {
+    rep.reached_target = true;
+    rep.tts_seconds = rep.elapsed_seconds;
+  }
+  return rep;
+}
+
+}  // namespace dabs

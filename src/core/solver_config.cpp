@@ -16,9 +16,9 @@ void SolverConfig::validate() const {
              "search flip factor must be positive");
   DABS_CHECK(device.batch.batch_flip_factor > 0.0,
              "batch flip factor must be positive");
-  DABS_CHECK(!stop.unbounded(),
-             "refusing an unbounded run: set a target energy, time limit, "
-             "or batch budget");
+  // Note: an unbounded `stop` is legal at configuration time — the
+  // effective stop condition may arrive later via a SolveRequest.  Solvers
+  // re-check boundedness when a run actually starts.
 }
 
 }  // namespace dabs

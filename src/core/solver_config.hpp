@@ -27,7 +27,9 @@ struct StopCondition {
   std::optional<Energy> target_energy;
   /// Wall-clock limit in seconds (0 = unlimited).
   double time_limit_seconds = 0.0;
-  /// Total batch-search budget across all devices (0 = unlimited).
+  /// Work budget in the solver's natural unit (0 = unlimited): batch
+  /// searches across all devices for the bulk solvers, single-bit flips
+  /// for the flip-at-a-time baselines.
   std::uint64_t max_batches = 0;
 
   bool unbounded() const noexcept {

@@ -120,6 +120,14 @@ JsonWriter& JsonWriter::value(const std::string& key, std::uint64_t v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(const std::string& key, std::int32_t v) {
+  return value(key, static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(const std::string& key, std::uint32_t v) {
+  return value(key, static_cast<std::uint64_t>(v));
+}
+
 JsonWriter& JsonWriter::value(const std::string& key, double v) {
   comma_and_key(key);
   DABS_CHECK(std::isfinite(v), "JSON cannot represent non-finite numbers");

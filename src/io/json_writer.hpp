@@ -24,11 +24,15 @@ class JsonWriter {
   JsonWriter& begin_array(const std::string& key = "");
   JsonWriter& end_array();
 
-  /// Values.
+  /// Values.  The narrow integer overloads exist so callers with int32 /
+  /// uint32 fields (e.g. SolveReport::restarts) don't hit an ambiguous
+  /// int64/uint64/double overload set.
   JsonWriter& value(const std::string& key, const std::string& v);
   JsonWriter& value(const std::string& key, const char* v);
   JsonWriter& value(const std::string& key, std::int64_t v);
   JsonWriter& value(const std::string& key, std::uint64_t v);
+  JsonWriter& value(const std::string& key, std::int32_t v);
+  JsonWriter& value(const std::string& key, std::uint32_t v);
   JsonWriter& value(const std::string& key, double v);
   JsonWriter& value(const std::string& key, bool v);
 

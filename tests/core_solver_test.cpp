@@ -25,9 +25,18 @@ SolverConfig quick_config() {
 }
 
 TEST(SolverConfig, ValidateRejectsUnboundedRuns) {
+  // An unbounded stop is legal at configuration time (a SolveRequest may
+  // supply the budget later) but a run must be bounded when it starts.
+  const QuboModel m = random_model(8, 0.5, 9, 3999);
   SolverConfig c = quick_config();
   c.stop = {};
-  EXPECT_THROW(DabsSolver{c}, std::invalid_argument);
+  DabsSolver solver{c};  // construction is configuration: no throw
+  EXPECT_THROW((void)solver.solve(m), std::invalid_argument);
+  SolveRequest req;
+  req.model = &m;
+  EXPECT_THROW((void)solver.solve(req), std::invalid_argument);
+  req.stop.max_batches = 10;
+  EXPECT_NO_THROW((void)solver.solve(req));
 }
 
 TEST(SolverConfig, ValidateRejectsNonsense) {
