@@ -1,0 +1,92 @@
+// Micro benchmarks (google-benchmark) for the batch solve service: job
+// pipeline throughput end to end (submit -> schedule -> solve -> report)
+// and the model-cache fast paths every batch request crosses.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "qubo/qubo_builder.hpp"
+#include "rng/xorshift.hpp"
+#include "service/model_cache.hpp"
+#include "service/solver_service.hpp"
+
+namespace dabs {
+namespace {
+
+QuboModel bench_model(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  QuboBuilder b(n);
+  for (VarIndex i = 0; i < n; ++i) {
+    b.add_linear(i, static_cast<Weight>(rng.next_index(19)) - 9);
+  }
+  for (VarIndex i = 0; i + 1 < n; ++i) {
+    for (VarIndex j = i + 1; j < n; ++j) {
+      if (rng.next_unit() < 0.3) {
+        b.add_quadratic(i, j, static_cast<Weight>(rng.next_index(19)) - 9);
+      }
+    }
+  }
+  return b.build();
+}
+
+/// Jobs/second through the full service pipeline: short deterministic sa
+/// runs (work-budget stop) over one shared cached model, threads as the
+/// benchmark argument.  This is the number the JSONL front end scales with.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  service::SolverService svc(
+      {threads, /*max_events_per_job=*/16,
+       service::ModelCache::kDefaultMaxBytes});
+  const std::shared_ptr<const QuboModel> model =
+      svc.cache().intern(bench_model(64, 42));
+
+  constexpr int kJobsPerIter = 32;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    std::vector<service::JobId> ids;
+    ids.reserve(kJobsPerIter);
+    for (int i = 0; i < kJobsPerIter; ++i) {
+      service::JobSpec spec;
+      spec.model = model;
+      spec.solver = "sa";
+      spec.stop.max_batches = 500;  // flips: short but non-trivial runs
+      spec.seed = ++seed;
+      ids.push_back(svc.submit(std::move(spec)));
+    }
+    for (const service::JobId id : ids) {
+      benchmark::DoNotOptimize(svc.wait(id).report.best_energy);
+      svc.release(id);  // keep per-iteration service state uniform
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kJobsPerIter);
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+/// The submit-side cache hit every duplicated model takes.
+void BM_ModelCacheInternHit(benchmark::State& state) {
+  service::ModelCache cache;
+  (void)cache.intern(bench_model(256, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.intern(bench_model(256, 7)));
+  }
+  state.SetLabel("includes rebuild of the probe model");
+}
+BENCHMARK(BM_ModelCacheInternHit);
+
+/// The key-aliased lookup the JSONL front end takes on repeated paths —
+/// no parse, no hash of the content.
+void BM_ModelCacheKeyHit(benchmark::State& state) {
+  service::ModelCache cache;
+  const auto load = [] { return bench_model(256, 7); };
+  (void)cache.get_or_load("qubo#bench.txt", load);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get_or_load("qubo#bench.txt", load));
+  }
+}
+BENCHMARK(BM_ModelCacheKeyHit);
+
+}  // namespace
+}  // namespace dabs
+
+BENCHMARK_MAIN();

@@ -13,7 +13,8 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 output="${2:-${repo_root}/BENCH_micro.json}"
-suites=(bench_micro_incremental bench_micro_search bench_micro_pipeline)
+suites=(bench_micro_incremental bench_micro_search bench_micro_pipeline
+        bench_micro_service)
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT

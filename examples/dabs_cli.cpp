@@ -8,21 +8,25 @@
 //   $ ./dabs_cli --format qaplib nug30.dat --devices 4 --s 0.1 --b 1.0
 //   $ ./dabs_cli model.txt --solver sa --target -1234 --campaign 100
 //
-// Exit status: 0 on success, 2 on usage errors.
+// The batch subcommand runs a JSONL job file through the solve service
+// (see src/service/batch_runner.hpp for the line schema) and streams one
+// report object per line as jobs complete:
+//
+//   $ ./dabs_cli batch jobs.jsonl --jobs 4 > reports.jsonl
+//
+// Exit status: 0 on success, 1 when a batch had failing jobs or malformed
+// lines, 2 on usage errors.
+#include <fstream>
 #include <iostream>
 
 #include "core/parallel_campaign.hpp"
 #include "core/solve_report.hpp"
 #include "core/solver.hpp"
 #include "core/solver_registry.hpp"
-#include "io/gset.hpp"
 #include "io/json_writer.hpp"
-#include "io/qaplib.hpp"
-#include "io/qubo_text.hpp"
 #include "io/solution_io.hpp"
-#include "problems/maxcut.hpp"
-#include "problems/qap.hpp"
 #include "qubo/model_info.hpp"
+#include "service/batch_runner.hpp"
 #include "util/arg_parser.hpp"
 
 namespace {
@@ -30,6 +34,8 @@ namespace {
 void usage(const std::string& prog) {
   std::cerr
       << "usage: " << prog << " [options] <model-file>\n"
+      << "       " << prog << " batch <jobs.jsonl> [--jobs <n>] "
+         "[--cache-mb <n>]\n"
       << "  --list-solvers              print the solver registry and exit\n"
       << "  --format qubo|gset|qaplib   input format (default qubo)\n"
       << "  --solver <name>             any registered solver (default "
@@ -50,12 +56,21 @@ void usage(const std::string& prog) {
       << "  --threads                   threaded bulk mode (default "
          "synchronous)\n"
       << "  --progress                  print improvements to stderr\n"
+      << "  --progress-interval <ms>    also print a heartbeat every <ms>\n"
+      << "                              milliseconds (implies --progress; "
+         "0 = improvements only)\n"
       << "  --save-solution <path>      write the best solution found\n"
       << "  --json                      JSON output\n"
       << "  --describe                  print model statistics and exit\n"
       << "  --campaign <trials>         repeated-trial TTS campaign "
          "(needs --target)\n"
-      << "  --campaign-threads <n>      workers for --campaign (default 2)\n";
+      << "  --campaign-threads <n>      workers for --campaign (default 2)\n"
+      << "batch options (one JSON job object per input line; see README):\n"
+      << "  --jobs <n>                  batch worker threads (default 4)\n"
+      << "  --cache-mb <n>              model cache budget in MiB "
+         "(default 256)\n"
+      << "  --time-limit <sec>          default per-job budget when a line "
+         "sets no stop\n";
 }
 
 void list_solvers() {
@@ -65,14 +80,55 @@ void list_solvers() {
 }
 
 /// --progress sink: improvements as they happen, on stderr so --json
-/// stdout stays machine-readable.
+/// stdout stays machine-readable.  --progress-interval adds heartbeat
+/// lines at the requested cadence (SolveRequest::tick_seconds) so long
+/// plateaus still show the run is alive.
 class StderrProgress : public dabs::ProgressObserver {
  public:
   void on_new_best(const dabs::ProgressEvent& event) override {
     std::cerr << "[" << event.elapsed_seconds << "s] best "
               << event.best_energy << " (work " << event.work << ")\n";
   }
+  void on_tick(const dabs::ProgressEvent& event) override {
+    std::cerr << "[" << event.elapsed_seconds << "s] ... best "
+              << event.best_energy << " (work " << event.work << ")\n";
+  }
 };
+
+/// `dabs_cli batch <jobs.jsonl>`: stream the JSONL job file through the
+/// batch service.  "-" reads jobs from stdin.
+int run_batch_command(const dabs::ArgParser& args) {
+  if (args.positional().size() != 2) {
+    usage(args.program());
+    return 2;
+  }
+  const std::int64_t jobs = args.get_int("jobs", 4);
+  const std::int64_t cache_mb = args.get_int("cache-mb", 256);
+  const double time_limit = args.get_double("time-limit", 5.0);
+  if (jobs < 1 || cache_mb < 0 || time_limit < 0) {
+    std::cerr << "--jobs must be >= 1; --cache-mb and --time-limit must "
+                 "be >= 0\n";
+    return 2;
+  }
+  dabs::service::BatchOptions opts;
+  opts.threads = static_cast<std::size_t>(jobs);
+  opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  opts.default_time_limit = time_limit;
+  for (const std::string& name : args.unused()) {
+    std::cerr << "warning: unknown option --" << name << "\n";
+  }
+
+  const std::string& path = args.positional()[1];
+  if (path == "-") {
+    return dabs::service::run_batch(std::cin, std::cout, std::cerr, opts);
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open job file '" << path << "'\n";
+    return 2;
+  }
+  return dabs::service::run_batch(in, std::cout, std::cerr, opts);
+}
 
 /// Splits "k=v,k2=v2" --opt payloads into the options map.
 void parse_opts(const std::string& spec, dabs::SolverOptions& opts) {
@@ -102,24 +158,29 @@ int main(int argc, char** argv) {
       list_solvers();
       return 0;
     }
+    // The subcommand shape is exactly `batch <jobs.jsonl>`; a model file
+    // literally named "batch" is still reachable as `./batch`.
+    if (args.positional().size() == 2 && args.positional()[0] == "batch" &&
+        !args.get_bool("help")) {
+      return run_batch_command(args);
+    }
+    if (args.positional().size() == 1 && args.positional()[0] == "batch") {
+      std::cerr << "batch needs a job file: " << args.program()
+                << " batch <jobs.jsonl> (to solve a model file named "
+                   "'batch', use ./batch)\n";
+      return 2;
+    }
     if (args.positional().size() != 1 || args.get_bool("help")) {
       usage(args.program());
       return 2;
     }
     const std::string path = args.positional()[0];
     const std::string format = args.get("format", "qubo");
-
-    QuboModel model;
-    if (format == "qubo") {
-      model = io::read_qubo_file(path);
-    } else if (format == "gset") {
-      model = problems::maxcut_to_qubo(io::read_gset_file(path));
-    } else if (format == "qaplib") {
-      model = problems::qap_to_qubo(io::read_qaplib_file(path)).model;
-    } else {
+    if (!service::known_model_format(format)) {
       std::cerr << "unknown format '" << format << "'\n";
       return 2;
     }
+    const QuboModel model = service::load_model_file(format, path);
 
     if (args.get_bool("describe")) {
       std::cout << describe_model(analyze_model(model));
@@ -157,22 +218,23 @@ int main(int argc, char** argv) {
       req.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     }
     StderrProgress progress;
-    if (args.get_bool("progress")) req.observer = &progress;
-
-    // When a wall-clock budget governs the run, lift the baselines' small
-    // default iteration budgets so --time-limit / --target decide when to
-    // stop (the legacy `--solver sa` path did the same with restarts=1e6).
-    // An explicit --opt value always wins.
-    if (req.stop.time_limit_seconds > 0) {
-      auto fill = [&](const char* solver, const char* key, const char* v) {
-        if (solver_name == solver && !opts.has(key)) opts.set(key, v);
-      };
-      fill("sa", "restarts", "1000000000");
-      fill("greedy-restart", "restarts", "1000000000");
-      fill("tabu", "iterations", "1000000000000");
-      fill("path-relinking", "relinks", "1000000000");
-      fill("subqubo", "iterations", "1000000000");
+    const double progress_interval_ms =
+        args.get_double("progress-interval", 0.0);
+    if (progress_interval_ms < 0) {
+      std::cerr << "--progress-interval must be >= 0\n";
+      return 2;
     }
+    // An interval without --progress still means "show me progress".
+    if (args.get_bool("progress") || progress_interval_ms > 0) {
+      req.observer = &progress;
+      req.tick_seconds = progress_interval_ms / 1000.0;
+    }
+
+    // When a stop condition governs the run, lift the baselines' small
+    // default iteration budgets so --time-limit / --target decide when to
+    // stop.  An explicit --opt value always wins.  Shared with the batch
+    // front end so both surfaces apply one policy.
+    service::apply_time_governed_budgets(solver_name, req.stop, opts);
 
     const bool as_json = args.get_bool("json");
     const auto trials = static_cast<std::size_t>(args.get_int("campaign", 10));

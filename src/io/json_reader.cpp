@@ -1,0 +1,402 @@
+#include "io/json_reader.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace dabs::io {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, const char* have) {
+  std::ostringstream os;
+  os << "JSON value is " << have << ", expected " << want;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+const char* JsonValue::kind_name() const noexcept {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "a boolean";
+    case Kind::kNumber:
+      return "a number";
+    case Kind::kString:
+      return "a string";
+    case Kind::kArray:
+      return "an array";
+    case Kind::kObject:
+      return "an object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) kind_error("a boolean", kind_name());
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (!is_number()) kind_error("a number", kind_name());
+  if (!int_exact_) {
+    std::ostringstream os;
+    os << "JSON number " << num_ << " is not an exact 64-bit integer";
+    throw std::invalid_argument(os.str());
+  }
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (!is_number()) kind_error("a number", kind_name());
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) kind_error("a string", kind_name());
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) kind_error("an array", kind_name());
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) kind_error("an object", kind_name());
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.int_ = v;
+  out.int_exact_ = true;
+  out.num_ = static_cast<double>(v);
+  return out;
+}
+
+JsonValue JsonValue::make_double(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.num_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(Array v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::make_shared<const Array>(std::move(v));
+  return out;
+}
+
+JsonValue JsonValue::make_object(Object v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::make_shared<const Object>(std::move(v));
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "JSON parse error at byte " << pos_ << ": " << what;
+    throw std::invalid_argument(os.str());
+  }
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (eof() || next() != *p) fail(std::string("expected '") + lit + "'");
+    }
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    JsonValue out;
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        expect_literal("null");
+        out = JsonValue::make_null();
+        break;
+      case 't':
+        expect_literal("true");
+        out = JsonValue::make_bool(true);
+        break;
+      case 'f':
+        expect_literal("false");
+        out = JsonValue::make_bool(false);
+        break;
+      case '"':
+        out = JsonValue::make_string(parse_string());
+        break;
+      case '[':
+        out = parse_array();
+        break;
+      case '{':
+        out = parse_object();
+        break;
+      default:
+        out = parse_number();
+    }
+    --depth_;
+    return out;
+  }
+
+  JsonValue parse_array() {
+    next();  // '['
+    JsonValue::Array items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  JsonValue parse_object() {
+    next();  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected string key in object");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      skip_ws();
+      JsonValue value = parse_value();
+      if (!members.emplace(std::move(key), std::move(value)).second) {
+        fail("duplicate object key");
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  std::string parse_string() {
+    next();  // '"'
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (next() != '\\' || next() != 'u') {
+              fail("unpaired UTF-16 surrogate");
+            }
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid JSON value");
+    }
+    bool integral = true;
+    // RFC 8259 int rule: a single '0', or a 1-9-led digit run — no
+    // leading zeros.
+    if (peek() == '0') {
+      ++pos_;
+      if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("leading zeros are not allowed");
+      }
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (integral) {
+      std::int64_t iv = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, iv);
+      if (ec == std::errc{} && ptr == last) return JsonValue::make_int(iv);
+      // Integral text out of int64 range: fall through to the double view.
+    }
+    double dv = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, dv);
+    if (ec != std::errc{} || ptr != last || !std::isfinite(dv)) {
+      fail("number out of range");
+    }
+    return JsonValue::make_double(dv);
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace dabs::io

@@ -1,0 +1,87 @@
+// Minimal JSON parser — the read-side counterpart of json_writer.hpp.
+// Parses one complete JSON text into a JsonValue tree; built for the JSONL
+// batch front end (one small job object per line), not for streaming or
+// huge documents.
+//
+// Faithful to RFC 8259 for everything the job format needs: all six value
+// kinds, string escapes (\" \\ \/ \b \f \n \r \t and \uXXXX including
+// surrogate pairs), and strict rejection of trailing garbage.  Numbers keep
+// both views: an exact int64 when the text is integral and in range, and a
+// double always.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dabs::io {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<JsonValue>;
+  /// Ordered map: deterministic iteration, duplicate keys rejected at parse.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Checked accessors; throw std::invalid_argument on a kind mismatch
+  /// (message names the expected and actual kinds).
+  bool as_bool() const;
+  /// Exact integer view; throws when the number was not written as an
+  /// integer that fits int64 (e.g. 1.5 or 1e300).
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member or nullptr (also nullptr when this is not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+  const char* kind_name() const noexcept;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool int_exact_ = false;
+  std::string str_;
+  // Indirect so JsonValue stays movable/copyable without recursive layout.
+  std::shared_ptr<const Array> array_;
+  std::shared_ptr<const Object> object_;
+};
+
+/// Parses exactly one JSON value covering the whole input (surrounding
+/// whitespace allowed).  Throws std::invalid_argument with a byte offset on
+/// malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace dabs::io

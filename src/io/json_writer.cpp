@@ -153,6 +153,12 @@ JsonWriter& JsonWriter::element(std::int64_t v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::element(std::uint64_t v) {
+  comma_and_key("");
+  out_ << v;
+  return *this;
+}
+
 JsonWriter& JsonWriter::element(double v) {
   comma_and_key("");
   DABS_CHECK(std::isfinite(v), "JSON cannot represent non-finite numbers");

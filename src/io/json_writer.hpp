@@ -36,9 +36,11 @@ class JsonWriter {
   JsonWriter& value(const std::string& key, double v);
   JsonWriter& value(const std::string& key, bool v);
 
-  /// Array elements.
+  /// Array elements.  The uint64 overload keeps full-range job ids exact
+  /// (an int64 conversion would flip the top bit).
   JsonWriter& element(const std::string& v);
   JsonWriter& element(std::int64_t v);
+  JsonWriter& element(std::uint64_t v);
   JsonWriter& element(double v);
 
   /// True once every scope is closed.

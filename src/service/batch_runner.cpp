@@ -1,0 +1,272 @@
+#include "service/batch_runner.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/gset.hpp"
+#include "io/json_reader.hpp"
+#include "io/json_writer.hpp"
+#include "io/qaplib.hpp"
+#include "io/qubo_text.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/qap.hpp"
+
+namespace dabs::service {
+
+namespace {
+
+/// Converts one "options" member to the string form SolverOptions parses.
+std::string option_to_string(const std::string& key,
+                             const io::JsonValue& value) {
+  switch (value.kind()) {
+    case io::JsonValue::Kind::kString:
+      return value.as_string();
+    case io::JsonValue::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case io::JsonValue::Kind::kNumber: {
+      try {
+        return std::to_string(value.as_int());
+      } catch (const std::invalid_argument&) {
+        // Non-integral: shortest round-trippable decimal.
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", value.as_double());
+        return buf;
+      }
+    }
+    default:
+      throw std::invalid_argument("option '" + key +
+                                  "' must be a string, number, or boolean");
+  }
+}
+
+std::int64_t require_nonnegative(const char* key, std::int64_t v) {
+  if (v < 0) {
+    throw std::invalid_argument(std::string("'") + key +
+                                "' must be non-negative");
+  }
+  return v;
+}
+
+}  // namespace
+
+bool known_model_format(const std::string& format) {
+  return format == "qubo" || format == "gset" || format == "qaplib";
+}
+
+QuboModel load_model_file(const std::string& format,
+                          const std::string& path) {
+  if (format == "qubo") return io::read_qubo_file(path);
+  if (format == "gset") {
+    return problems::maxcut_to_qubo(io::read_gset_file(path));
+  }
+  if (format == "qaplib") {
+    return problems::qap_to_qubo(io::read_qaplib_file(path)).model;
+  }
+  throw std::invalid_argument("unknown model format '" + format +
+                              "' (expected qubo, gset, or qaplib)");
+}
+
+BatchJob parse_batch_job(const std::string& json_line) {
+  const io::JsonValue root = io::parse_json(json_line);
+  if (!root.is_object()) {
+    throw std::invalid_argument("job line must be a JSON object");
+  }
+
+  BatchJob job;
+  bool have_model = false;
+  for (const auto& [key, value] : root.as_object()) {
+    if (key == "model") {
+      job.model_path = value.as_string();
+      have_model = true;
+    } else if (key == "format") {
+      job.format = value.as_string();
+    } else if (key == "solver") {
+      job.spec.solver = value.as_string();
+    } else if (key == "options") {
+      for (const auto& [opt_key, opt_value] : value.as_object()) {
+        job.spec.options.set(opt_key, option_to_string(opt_key, opt_value));
+      }
+    } else if (key == "time_limit") {
+      job.spec.stop.time_limit_seconds = value.as_double();
+      if (job.spec.stop.time_limit_seconds < 0) {
+        throw std::invalid_argument("'time_limit' must be non-negative");
+      }
+    } else if (key == "max_batches") {
+      job.spec.stop.max_batches = static_cast<std::uint64_t>(
+          require_nonnegative("max_batches", value.as_int()));
+    } else if (key == "target") {
+      job.spec.stop.target_energy = value.as_int();
+    } else if (key == "seed") {
+      job.spec.seed = static_cast<std::uint64_t>(
+          require_nonnegative("seed", value.as_int()));
+    } else if (key == "priority") {
+      const std::int64_t p = value.as_int();
+      if (p < std::numeric_limits<int>::min() ||
+          p > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument("'priority' is out of range");
+      }
+      job.spec.priority = static_cast<int>(p);
+    } else if (key == "tag") {
+      job.spec.tag = value.as_string();
+    } else if (key == "tick") {
+      job.spec.tick_seconds = value.as_double();
+    } else {
+      throw std::invalid_argument("unknown job key '" + key + "'");
+    }
+  }
+  if (!have_model || job.model_path.empty()) {
+    throw std::invalid_argument("job line requires a non-empty 'model'");
+  }
+  if (!known_model_format(job.format)) {
+    throw std::invalid_argument("unknown model format '" + job.format +
+                                "' (expected qubo, gset, or qaplib)");
+  }
+  return job;
+}
+
+void apply_time_governed_budgets(const std::string& solver,
+                                 const StopCondition& stop,
+                                 SolverOptions& options) {
+  // Only a wall-clock or work budget justifies lifting the baselines'
+  // own iteration budgets: a target alone may never be reached, and
+  // lifting on it would turn a terminating run into an unbounded one.
+  if (stop.time_limit_seconds <= 0 && stop.max_batches == 0) return;
+  const auto fill = [&](const char* name, const char* key, const char* v) {
+    if (solver == name && !options.has(key)) options.set(key, v);
+  };
+  fill("sa", "restarts", "1000000000");
+  fill("greedy-restart", "restarts", "1000000000");
+  fill("tabu", "iterations", "1000000000000");
+  fill("path-relinking", "relinks", "1000000000");
+  fill("subqubo", "iterations", "1000000000");
+}
+
+int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
+              const BatchOptions& options) {
+  SolverService service({options.threads, options.max_events_per_job,
+                         options.cache_bytes});
+
+  std::map<JobId, std::size_t> line_of;  // in-flight only: pruned on emit
+  std::size_t line_no = 0;
+  std::size_t submitted = 0;
+  std::size_t invalid = 0;
+  std::size_t load_failed = 0;
+  // Every problem line still yields an output line so callers can join
+  // inputs to outcomes; the batch keeps going either way.  "invalid"
+  // means fix the input (schema violation, unknown solver/option);
+  // "failed" means the environment broke (model unreadable) — retryable.
+  const auto emit_problem = [&out, &line_no](const char* status,
+                                             const std::string& tag,
+                                             const char* what) {
+    io::JsonWriter json(out);
+    json.begin_object()
+        .value("line", static_cast<std::uint64_t>(line_no))
+        .value("status", status);
+    if (!tag.empty()) json.value("tag", tag);
+    json.value("error", what).end_object();
+    out << "\n";
+    out.flush();
+  };
+
+  // Writes one report line and drops the job's record so an arbitrarily
+  // long batch holds only in-flight jobs, not every finished one.
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  const auto emit_report = [&](JobId id) {
+    const JobSnapshot snap = service.snapshot(id);
+    if (snap.state == JobState::kFailed) ++failed;
+    if (snap.state == JobState::kCancelled) ++cancelled;
+    io::JsonWriter json(out);
+    json.begin_object()
+        .value("job_id", id)
+        .value("line", static_cast<std::uint64_t>(line_of.at(id)))
+        .value("status", to_string(snap.state));
+    if (!snap.tag.empty()) json.value("tag", snap.tag);
+    if (snap.state == JobState::kFailed) {
+      json.value("error", snap.error);
+    } else {
+      snap.report.write_json(json, "report");
+    }
+    json.end_object();
+    out << "\n";
+    out.flush();
+    service.release(id);
+    line_of.erase(id);
+  };
+
+  std::string line;
+  while (std::getline(jobs_in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    BatchJob job;
+    try {
+      job = parse_batch_job(line);
+    } catch (const std::exception& e) {
+      ++invalid;
+      emit_problem("invalid", "", e.what());
+      continue;
+    }
+    bool cache_hit = false;
+    std::shared_ptr<const QuboModel> model;
+    try {
+      model = service.cache().get_or_load(
+          job.format + "#" + job.model_path,
+          [&job] { return load_model_file(job.format, job.model_path); },
+          &cache_hit);
+    } catch (const std::exception& e) {
+      ++load_failed;
+      emit_problem("failed", job.spec.tag, e.what());
+      continue;
+    }
+    const std::string tag = job.spec.tag;  // survives the move below
+    try {
+      job.spec.model = model;
+      if (job.spec.stop.time_limit_seconds <= 0 &&
+          job.spec.stop.max_batches == 0) {
+        // A target alone may never be reached; keep every job bounded.
+        job.spec.stop.time_limit_seconds = options.default_time_limit;
+      }
+      apply_time_governed_budgets(job.spec.solver, job.spec.stop,
+                                  job.spec.options);
+      job.spec.extras["model"] = model->describe();
+      job.spec.extras["model_cache"] = cache_hit ? "hit" : "miss";
+      job.spec.extras["model_cache_hits"] =
+          std::to_string(service.cache().stats().hits);
+      const JobId id = service.submit(std::move(job.spec));
+      line_of.emplace(id, line_no);
+      ++submitted;
+    } catch (const std::exception& e) {
+      ++invalid;  // unknown solver / bad option values
+      emit_problem("invalid", tag, e.what());
+    }
+    // Keep streaming while reading: with a slow producer (stdin pipes)
+    // reports must not wait for EOF.
+    while (const std::optional<JobId> id = service.try_any_finished()) {
+      emit_report(*id);
+    }
+  }
+
+  // Drain the rest as they complete, out of order.
+  while (const std::optional<JobId> id = service.wait_any_finished()) {
+    emit_report(*id);
+  }
+
+  const ModelCache::Stats cache = service.cache().stats();
+  err << "batch: " << submitted << " jobs on " << options.threads
+      << " threads (" << invalid << " invalid, " << failed + load_failed
+      << " failed, " << cancelled << " cancelled); model cache: "
+      << cache.hits << " hits, " << cache.misses << " misses, "
+      << cache.entries << " resident\n";
+  return (invalid == 0 && failed == 0 && load_failed == 0 && cancelled == 0)
+             ? 0
+             : 1;
+}
+
+}  // namespace dabs::service

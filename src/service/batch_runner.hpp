@@ -1,0 +1,81 @@
+// JSONL batch front end over SolverService: read one job object per line,
+// run them concurrently, stream one report object per line as jobs finish
+// (out of order — each output line carries its job id and input line).
+//
+// Input line schema (only "model" is required):
+//
+//   {"model": "k2000.txt",        // problem file, parsed once per path
+//    "format": "qubo",            // qubo | gset | qaplib
+//    "solver": "tabu",            // any registry name (default dabs)
+//    "options": {"tenure": 8},    // solver options (string/number/bool)
+//    "time_limit": 2.5,           // StopCondition seconds
+//    "max_batches": 1000,         // StopCondition work budget
+//    "target": -33337,            // StopCondition target energy
+//    "seed": 7, "priority": 2, "tag": "hot", "tick": 0.5}
+//
+// Blank lines and lines starting with '#' are skipped.  Every model flows
+// through the service's ModelCache keyed by "<format>#<path>", so repeated
+// paths skip the parse and equal-content files share storage; each report's
+// extras record the outcome ("model_cache": hit|miss, "model_cache_hits":
+// running total).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "service/model_cache.hpp"
+#include "service/solver_service.hpp"
+
+namespace dabs::service {
+
+struct BatchOptions {
+  /// Worker threads (the CLI's --jobs knob).
+  std::size_t threads = 4;
+  std::size_t cache_bytes = ModelCache::kDefaultMaxBytes;
+  /// Applied when a job line sets neither time_limit nor max_batches, so
+  /// every job is bounded (a target alone is not a bound — it may never
+  /// be reached; mirrors the single-run CLI default).
+  double default_time_limit = 5.0;
+  /// Per-job event-log bound.
+  std::size_t max_events_per_job = 64;
+};
+
+/// One parsed job line, model not yet loaded.
+struct BatchJob {
+  std::string model_path;
+  std::string format = "qubo";
+  JobSpec spec;  // spec.model stays null until the runner loads it
+};
+
+/// Parses one JSONL job line; throws std::invalid_argument with a readable
+/// message on schema violations.
+BatchJob parse_batch_job(const std::string& json_line);
+
+/// The model formats the front ends accept: qubo, gset, qaplib.
+bool known_model_format(const std::string& format);
+
+/// Loads a model file in any known format (the one format -> reader
+/// dispatch, shared with the single-run CLI).  Throws std::invalid_argument
+/// for an unknown format and the reader's error on IO failure.
+QuboModel load_model_file(const std::string& format,
+                          const std::string& path);
+
+/// The bounded-run policy the single-run CLI applies, shared with batch
+/// jobs: when a wall-clock or work budget governs the run, lift the
+/// baselines' small default iteration budgets so the StopCondition decides
+/// when to stop.  A target alone does not lift (it may never be reached).
+/// Explicitly set options always win.
+void apply_time_governed_budgets(const std::string& solver,
+                                 const StopCondition& stop,
+                                 SolverOptions& options);
+
+/// Runs every job in `jobs_in` on a fresh SolverService and streams one
+/// JSON object per line into `out` as jobs complete; diagnostics go to
+/// `err`.  Returns 0 when every line parsed and every job finished
+/// normally, 1 otherwise (malformed lines and failed jobs still produce an
+/// output line each, so callers can join inputs to outcomes).
+int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
+              const BatchOptions& options = {});
+
+}  // namespace dabs::service

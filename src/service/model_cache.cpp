@@ -1,0 +1,169 @@
+#include "service/model_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dabs::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline void mix(std::uint64_t& h, std::uint64_t v) {
+  // Hash the full 64-bit value byte by byte (FNV-1a).
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+ModelCache::ModelCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::uint64_t ModelCache::content_hash(const QuboModel& model) {
+  std::uint64_t h = kFnvOffset;
+  const auto n = static_cast<VarIndex>(model.size());
+  mix(h, n);
+  mix(h, model.edge_count());
+  mix(h, static_cast<std::uint64_t>(model.backend()));
+  for (VarIndex i = 0; i < n; ++i) {
+    mix(h, static_cast<std::uint64_t>(
+               static_cast<std::int64_t>(model.diag(i))));
+    const auto cols = model.neighbors(i);
+    const auto vals = model.weights(i);
+    mix(h, cols.size());
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      mix(h, cols[k]);
+      mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(vals[k])));
+    }
+  }
+  return h;
+}
+
+bool ModelCache::same_content(const QuboModel& a, const QuboModel& b) {
+  if (a.size() != b.size() || a.edge_count() != b.edge_count() ||
+      a.backend() != b.backend()) {
+    return false;
+  }
+  const auto n = static_cast<VarIndex>(a.size());
+  for (VarIndex i = 0; i < n; ++i) {
+    if (a.diag(i) != b.diag(i)) return false;
+    const auto ca = a.neighbors(i);
+    const auto cb = b.neighbors(i);
+    const auto va = a.weights(i);
+    const auto vb = b.weights(i);
+    if (ca.size() != cb.size()) return false;
+    if (!std::equal(ca.begin(), ca.end(), cb.begin())) return false;
+    if (!std::equal(va.begin(), va.end(), vb.begin())) return false;
+  }
+  return true;
+}
+
+std::size_t ModelCache::approximate_bytes(const QuboModel& model) {
+  const std::size_t n = model.size();
+  std::size_t bytes = sizeof(QuboModel);
+  bytes += n * sizeof(Weight);                               // diagonal
+  bytes += (n + 1) * sizeof(std::size_t);                    // row_ptr
+  bytes += 2 * model.edge_count() * sizeof(VarIndex);        // columns
+  bytes += 2 * model.edge_count() * sizeof(Weight);          // values
+  if (model.has_dense_rows()) bytes += n * n * sizeof(Weight);
+  return bytes;
+}
+
+std::shared_ptr<const QuboModel> ModelCache::intern(QuboModel&& model,
+                                                    bool* was_hit) {
+  std::lock_guard lock(mu_);
+  return intern_locked(std::move(model), was_hit, nullptr);
+}
+
+std::shared_ptr<const QuboModel> ModelCache::get_or_load(
+    const std::string& key, const std::function<QuboModel()>& load,
+    bool* was_hit) {
+  {
+    std::lock_guard lock(mu_);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      touch_locked(it->second);
+      ++stats_.hits;
+      if (was_hit) *was_hit = true;
+      return it->second->model;
+    }
+  }
+  // Parse outside the lock; a racing loader of the same key collapses to
+  // one stored copy at intern time (content hit for the loser).
+  QuboModel model = load();
+  std::lock_guard lock(mu_);
+  return intern_locked(std::move(model), was_hit, &key);
+}
+
+std::shared_ptr<const QuboModel> ModelCache::intern_locked(
+    QuboModel&& model, bool* was_hit, const std::string* key) {
+  const std::uint64_t hash = content_hash(model);
+  if (const auto it = by_hash_.find(hash); it != by_hash_.end()) {
+    for (Lru::iterator entry : it->second) {
+      if (same_content(*entry->model, model)) {
+        touch_locked(entry);
+        if (key != nullptr && by_key_.emplace(*key, entry).second) {
+          entry->keys.push_back(*key);
+        }
+        ++stats_.hits;
+        if (was_hit) *was_hit = true;
+        return entry->model;
+      }
+    }
+  }
+
+  ++stats_.misses;
+  if (was_hit) *was_hit = false;
+  auto shared = std::make_shared<const QuboModel>(std::move(model));
+  const std::size_t bytes = approximate_bytes(*shared);
+  if (bytes > max_bytes_) return shared;  // never cacheable; hand it back
+
+  lru_.push_front(Entry{hash, bytes, shared, {}});
+  const Lru::iterator entry = lru_.begin();
+  by_hash_[hash].push_back(entry);
+  if (key != nullptr && by_key_.emplace(*key, entry).second) {
+    entry->keys.push_back(*key);
+  }
+  stats_.bytes += bytes;
+  stats_.entries = lru_.size();
+  evict_locked();
+  return shared;
+}
+
+void ModelCache::touch_locked(Lru::iterator it) {
+  if (it != lru_.begin()) lru_.splice(lru_.begin(), lru_, it);
+}
+
+void ModelCache::evict_locked() {
+  // The newest entry (front) is never evicted: a model worth inserting is
+  // worth keeping until something newer pushes it out.
+  while (stats_.bytes > max_bytes_ && lru_.size() > 1) {
+    drop_entry_locked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+void ModelCache::drop_entry_locked(Lru::iterator it) {
+  for (const std::string& key : it->keys) by_key_.erase(key);
+  auto& bucket = by_hash_[it->hash];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), it));
+  if (bucket.empty()) by_hash_.erase(it->hash);
+  stats_.bytes -= it->bytes;
+  lru_.erase(it);
+  stats_.entries = lru_.size();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void ModelCache::clear() {
+  std::lock_guard lock(mu_);
+  while (!lru_.empty()) drop_entry_locked(lru_.begin());
+}
+
+}  // namespace dabs::service

@@ -1,0 +1,322 @@
+#include "service/solver_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dabs::service {
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+/// Internal per-job record.  Guarded by SolverService::mu_ except for
+/// `solver` and `token`, which the owning worker uses outside the lock
+/// (solver is never touched elsewhere once running; StopToken is
+/// thread-safe by design).
+struct SolverService::Job {
+  JobId id = 0;
+  JobSpec spec;
+  std::unique_ptr<Solver> solver;
+  StopToken token;
+  JobState state = JobState::kQueued;
+  SolveReport report;
+  std::string error;
+  // Bounded ring: newest events overwrite the oldest once full.
+  std::vector<JobEvent> events;
+  std::size_t ring_next = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+/// The service-owned ProgressObserver: forwards a running job's new-best /
+/// tick callbacks into its bounded event log.  Lives on the worker's stack
+/// for the duration of one solve() call.
+class SolverService::EventLogObserver final : public ProgressObserver {
+ public:
+  EventLogObserver(SolverService& service, Job& job)
+      : service_(service), job_(job) {}
+
+  void on_new_best(const ProgressEvent& event) override {
+    append({JobEvent::Kind::kNewBest, event.elapsed_seconds,
+            event.best_energy, event.work});
+  }
+  void on_tick(const ProgressEvent& event) override {
+    append({JobEvent::Kind::kTick, event.elapsed_seconds, event.best_energy,
+            event.work});
+  }
+
+ private:
+  void append(const JobEvent& event) {
+    const std::size_t cap = service_.config_.max_events_per_job;
+    if (cap == 0) return;
+    std::lock_guard lock(service_.mu_);
+    if (job_.events.size() < cap) {
+      job_.events.push_back(event);
+    } else {
+      job_.events[job_.ring_next] = event;
+      job_.ring_next = (job_.ring_next + 1) % cap;
+      ++job_.events_dropped;
+    }
+  }
+
+  SolverService& service_;
+  Job& job_;
+};
+
+SolverService::SolverService() : SolverService(Config{}) {}
+
+SolverService::SolverService(Config config)
+    : config_(config), cache_(config.cache_bytes), pool_(config.threads) {}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard lock(mu_);
+    shutting_down_ = true;
+  }
+  cancel_all();
+  // Queued drain tasks still run (finding nothing pending); running jobs
+  // unwind within one iteration of their solver loop.
+  pool_.wait_idle();
+}
+
+JobId SolverService::submit(JobSpec spec) {
+  if (!spec.model) {
+    throw std::invalid_argument("JobSpec carries no model");
+  }
+  // Build the solver up front so unknown names / bad options fail at
+  // submit time with the registry's message, not inside a worker.
+  std::unique_ptr<Solver> solver =
+      SolverRegistry::global().create(spec.solver, spec.options);
+
+  JobId id = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (shutting_down_) {
+      throw std::runtime_error("SolverService is shutting down");
+    }
+    id = next_id_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->spec = std::move(spec);
+    job->solver = std::move(solver);
+    pending_.emplace(PendingKey{job->spec.priority, id}, id);
+    jobs_.emplace(id, std::move(job));
+    ++unclaimed_;
+  }
+  // One drain task per submission: each pops whichever pending job is
+  // highest-priority at the time it runs, so a plain FIFO pool yields
+  // priority order without a bespoke scheduler.
+  pool_.submit([this] { run_one(); });
+  return id;
+}
+
+void SolverService::run_one() {
+  Job* job = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (pending_.empty()) return;  // its job was cancelled while queued
+    const auto it = pending_.begin();
+    job = jobs_.at(it->second).get();
+    pending_.erase(it);
+    job->state = JobState::kRunning;
+    ++running_;
+  }
+
+  EventLogObserver observer(*this, *job);
+  SolveReport report;
+  std::string error;
+  bool failed = false;
+  try {
+    report = job->solver->solve(request_for(*job, &observer));
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  } catch (...) {
+    failed = true;
+    error = "unknown exception";
+  }
+
+  std::lock_guard lock(mu_);
+  --running_;
+  if (failed) {
+    job->error = std::move(error);
+    finalize_locked(*job, JobState::kFailed);
+  } else {
+    const JobState state =
+        report.cancelled ? JobState::kCancelled : JobState::kDone;
+    job->report = std::move(report);
+    finalize_locked(*job, state);
+  }
+}
+
+SolveRequest SolverService::request_for(const Job& job,
+                                        ProgressObserver* observer) {
+  SolveRequest req;
+  req.model = job.spec.model.get();
+  req.stop = job.spec.stop;
+  req.seed = job.spec.seed;
+  req.stop_token = job.token;
+  req.observer = observer;
+  req.tick_seconds = job.spec.tick_seconds;
+  return req;
+}
+
+void SolverService::finalize_locked(Job& job, JobState state) {
+  job.state = state;
+  if (job.report.solver.empty()) job.report.solver = job.spec.solver;
+  // Caller annotations win over same-named solver extras: the caller set
+  // them deliberately per job.
+  for (const auto& [k, v] : job.spec.extras) job.report.extras[k] = v;
+  job.report.extras["job_id"] = std::to_string(job.id);
+  if (!job.spec.tag.empty()) job.report.extras["tag"] = job.spec.tag;
+  finished_.push_back(job.id);
+  cv_.notify_all();
+}
+
+JobState SolverService::state(JobId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  return it->second->state;
+}
+
+JobSnapshot SolverService::snapshot(JobId id) const {
+  std::lock_guard lock(mu_);
+  return snapshot_locked(id);
+}
+
+JobSnapshot SolverService::snapshot_locked(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  const Job& job = *it->second;
+  JobSnapshot snap;
+  snap.id = job.id;
+  snap.state = job.state;
+  snap.tag = job.spec.tag;
+  snap.priority = job.spec.priority;
+  snap.report = job.report;
+  snap.error = job.error;
+  snap.events_dropped = job.events_dropped;
+  // Un-rotate the ring so events come out oldest-first.
+  snap.events.reserve(job.events.size());
+  for (std::size_t i = 0; i < job.events.size(); ++i) {
+    snap.events.push_back(
+        job.events[(job.ring_next + i) % job.events.size()]);
+  }
+  return snap;
+}
+
+JobSnapshot SolverService::wait(JobId id) {
+  std::unique_lock lock(mu_);
+  if (jobs_.find(id) == jobs_.end()) {
+    throw std::out_of_range("unknown job id");
+  }
+  // Re-find per evaluation: a concurrent release() may erase the record.
+  cv_.wait(lock, [this, id] {
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() || is_terminal(it->second->state);
+  });
+  return snapshot_locked(id);  // throws if the job was released meanwhile
+}
+
+void SolverService::wait_all() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+}
+
+std::optional<JobId> SolverService::wait_any_finished() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return !finished_.empty() || unclaimed_ == 0; });
+  if (finished_.empty()) return std::nullopt;
+  const JobId id = finished_.front();
+  finished_.pop_front();
+  --unclaimed_;
+  return id;
+}
+
+std::optional<JobId> SolverService::try_any_finished() {
+  std::lock_guard lock(mu_);
+  if (finished_.empty()) return std::nullopt;
+  const JobId id = finished_.front();
+  finished_.pop_front();
+  --unclaimed_;
+  return id;
+}
+
+bool SolverService::release(JobId id) {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || !is_terminal(it->second->state)) return false;
+  const auto claim = std::find(finished_.begin(), finished_.end(), id);
+  if (claim != finished_.end()) {
+    finished_.erase(claim);
+    --unclaimed_;
+    // unclaimed_ hitting zero can end a blocked wait_any_finished().
+    cv_.notify_all();
+  }
+  jobs_.erase(it);
+  return true;
+}
+
+bool SolverService::cancel(JobId id) {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+      // Never ran: retire immediately with an empty cancelled report.
+      pending_.erase(PendingKey{job.spec.priority, job.id});
+      job.report.cancelled = true;
+      finalize_locked(job, JobState::kCancelled);
+      return true;
+    case JobState::kRunning:
+      job.token.request_stop();
+      return true;
+    case JobState::kDone:
+    case JobState::kCancelled:
+    case JobState::kFailed:
+      return false;
+  }
+  return false;
+}
+
+void SolverService::cancel_all() {
+  std::vector<JobId> ids;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, job] : jobs_) {
+      if (!is_terminal(job->state)) ids.push_back(id);
+    }
+  }
+  for (const JobId id : ids) cancel(id);
+}
+
+std::size_t SolverService::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+std::size_t SolverService::active_count() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+std::size_t SolverService::outstanding() const {
+  std::lock_guard lock(mu_);
+  return pending_.size() + running_;
+}
+
+}  // namespace dabs::service

@@ -1,0 +1,223 @@
+// Asynchronous batch-solve service over the unified Solver API — the layer
+// that turns one-shot solve() calls into a concurrent, cancellable,
+// deduplicating job pipeline (PR 3 named it as its natural next step; the
+// JSONL front end in batch_runner.hpp and any future RPC surface sit on
+// top of this).
+//
+//   SolverService svc({.threads = 4});
+//   JobSpec spec;
+//   spec.model = svc.cache().intern(build_model());
+//   spec.solver = "tabu";
+//   spec.stop.time_limit_seconds = 1.0;
+//   JobId id = svc.submit(std::move(spec));
+//   JobSnapshot done = svc.wait(id);     // done.report is a SolveReport
+//
+// Scheduling: jobs queue in (priority desc, submission order) and run on a
+// shared ThreadPool.  Cancellation: cancel() fires the job's StopToken
+// (PR 3's cooperative protocol) when running and retires the job
+// immediately when still queued.  Observability: a service-owned
+// ProgressObserver feeds a bounded per-job event log (new-best and tick
+// events) readable from any thread via snapshot().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/solve_report.hpp"
+#include "core/solver.hpp"
+#include "core/solver_registry.hpp"
+#include "service/model_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dabs::service {
+
+using JobId = std::uint64_t;
+
+enum class JobState : std::uint8_t {
+  kQueued,     // submitted, waiting for a worker
+  kRunning,    // a worker is inside Solver::solve
+  kDone,       // solve returned normally (report valid)
+  kCancelled,  // cancelled before or during the run (report valid)
+  kFailed,     // solve threw (error holds the message)
+};
+
+const char* to_string(JobState state) noexcept;
+inline bool is_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kCancelled ||
+         state == JobState::kFailed;
+}
+
+/// One entry of the bounded per-job event log.
+struct JobEvent {
+  enum class Kind : std::uint8_t { kNewBest, kTick };
+  Kind kind = Kind::kNewBest;
+  double elapsed_seconds = 0.0;
+  Energy best_energy = kInfiniteEnergy;
+  std::uint64_t work = 0;
+};
+
+/// Everything one job needs, fully specified at submit time.
+struct JobSpec {
+  /// Shared problem instance — route it through ModelCache so duplicate
+  /// submissions share one model.  Must be non-null.
+  std::shared_ptr<const QuboModel> model;
+
+  /// Registry name ("dabs", "sa", ...; see SolverRegistry::global()).
+  std::string solver = "dabs";
+  /// Solver-specific string options, forwarded to the registry factory.
+  SolverOptions options;
+
+  StopCondition stop;
+  std::optional<std::uint64_t> seed;
+
+  /// Higher runs first; ties run in submission order.
+  int priority = 0;
+
+  /// Caller's label, echoed into the report extras ("tag") and snapshots.
+  std::string tag;
+
+  /// Granularity of kTick entries in the event log (0 = new-best only).
+  double tick_seconds = 0.0;
+
+  /// Merged into the final report's extras (caller-owned annotations, e.g.
+  /// the batch front end records the model-cache outcome here).
+  std::map<std::string, std::string> extras;
+};
+
+/// Point-in-time copy of a job's externally visible state.
+struct JobSnapshot {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  std::string tag;
+  int priority = 0;
+  /// Valid for kDone and kCancelled (a cancelled-while-running job reports
+  /// its best-so-far; a cancelled-while-queued job reports an empty run).
+  SolveReport report;
+  /// What solve() threw; only for kFailed.
+  std::string error;
+  /// Chronological bounded event log (oldest first).
+  std::vector<JobEvent> events;
+  /// Events discarded once the log was full (oldest are dropped).
+  std::uint64_t events_dropped = 0;
+};
+
+class SolverService {
+ public:
+  struct Config {
+    /// Worker threads solving jobs.
+    std::size_t threads = 2;
+    /// Per-job event-log bound; the newest events win.
+    std::size_t max_events_per_job = 64;
+    /// Byte budget of the owned ModelCache.
+    std::size_t cache_bytes = ModelCache::kDefaultMaxBytes;
+  };
+
+  SolverService();
+  explicit SolverService(Config config);
+  /// Cancels everything still queued or running and joins the workers.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Validates the spec (non-null model, known solver, buildable options —
+  /// throws std::invalid_argument otherwise) and enqueues the job.
+  JobId submit(JobSpec spec);
+
+  /// Current state; throws std::out_of_range for an unknown id.
+  JobState state(JobId id) const;
+
+  /// Full snapshot (report/events copied); throws for an unknown id.
+  JobSnapshot snapshot(JobId id) const;
+
+  /// Blocks until the job reaches a terminal state, then snapshots it.
+  JobSnapshot wait(JobId id);
+
+  /// Blocks until every submitted job is terminal.
+  void wait_all();
+
+  /// Completion stream for out-of-order consumers: blocks until some job
+  /// finishes that no previous wait_any_finished() call returned, and
+  /// returns its id.  Returns nullopt when no submitted job remains
+  /// unclaimed.  Each finished job is delivered exactly once across all
+  /// callers.
+  std::optional<JobId> wait_any_finished();
+
+  /// Non-blocking wait_any_finished(): a finished unclaimed job id if one
+  /// is ready right now, nullopt otherwise.
+  std::optional<JobId> try_any_finished();
+
+  /// Drops a terminal job's record (report, events, solution) so long
+  /// batches do not accumulate every finished job for the service's
+  /// lifetime.  Also forfeits the job's pending completion-stream
+  /// delivery if it was never claimed.  Returns false when the id is
+  /// unknown or the job has not finished; after release the id is
+  /// unknown to state()/snapshot()/wait().
+  bool release(JobId id);
+
+  /// Cancels a job: a queued job retires immediately (kCancelled), a
+  /// running job gets its StopToken fired and winds down cooperatively.
+  /// Returns false when the job is unknown or already terminal.
+  bool cancel(JobId id);
+
+  /// Fires every non-terminal job's cancellation.
+  void cancel_all();
+
+  /// Jobs submitted but not yet picked up by a worker.
+  std::size_t queue_depth() const;
+  /// Jobs currently inside Solver::solve.
+  std::size_t active_count() const;
+  /// Jobs not yet terminal (queued + running).
+  std::size_t outstanding() const;
+
+  /// The service-owned model cache (thread-safe; share freely).
+  ModelCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Job;
+  class EventLogObserver;
+
+  void run_one();
+  void finalize_locked(Job& job, JobState state);
+  JobSnapshot snapshot_locked(JobId id) const;
+  static SolveRequest request_for(const Job& job,
+                                  ProgressObserver* observer);
+
+  /// (priority desc, id asc) run order.  Compares priorities directly —
+  /// negating would overflow on INT_MIN, which is reachable from JSONL
+  /// input.
+  struct PendingKey {
+    int priority;
+    JobId id;
+    bool operator<(const PendingKey& other) const noexcept {
+      return priority != other.priority ? priority > other.priority
+                                        : id < other.id;
+    }
+  };
+
+  const Config config_;
+  ModelCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  std::map<PendingKey, JobId> pending_;
+  std::deque<JobId> finished_;  // terminal, not yet claimed by wait_any
+  JobId next_id_ = 1;
+  std::size_t running_ = 0;
+  std::size_t unclaimed_ = 0;  // submitted minus wait_any deliveries
+  bool shutting_down_ = false;
+
+  /// Declared last: its destructor drains queued drain-tasks, which touch
+  /// everything above.
+  ThreadPool pool_;
+};
+
+}  // namespace dabs::service

@@ -43,6 +43,16 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return tasks_.size();
+}
+
+std::size_t ThreadPool::active_count() const {
+  std::lock_guard lock(mu_);
+  return active_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -36,10 +36,17 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker.  Instantaneous
+  /// snapshots for metrics/backpressure: another thread may change them
+  /// right after the lock drops.
+  std::size_t queue_depth() const;
+  /// Tasks currently executing on a worker.
+  std::size_t active_count() const;
+
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> tasks_;

@@ -1,0 +1,119 @@
+// Unit tests for the minimal JSON parser backing the JSONL batch front end.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "io/json_reader.hpp"
+
+namespace dabs {
+namespace {
+
+using io::JsonValue;
+using io::parse_json;
+
+TEST(JsonReader, ScalarValues) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_EQ(parse_json("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonReader, IntegersKeepExactView) {
+  // Full int64 range survives; the double view coexists.
+  const JsonValue v = parse_json("-9223372036854775808");
+  EXPECT_EQ(v.as_int(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_json("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_json("100").as_double(), 100.0);
+}
+
+TEST(JsonReader, NonIntegralNumberRejectsIntView) {
+  EXPECT_THROW(parse_json("1.5").as_int(), std::invalid_argument);
+  EXPECT_THROW(parse_json("1e300").as_int(), std::invalid_argument);
+  // Integral but beyond int64: still parses, double view only.
+  EXPECT_THROW(parse_json("92233720368547758080").as_int(),
+               std::invalid_argument);
+  EXPECT_GT(parse_json("92233720368547758080").as_double(), 9.2e18);
+}
+
+TEST(JsonReader, ObjectsAndArrays) {
+  const JsonValue v = parse_json(
+      R"({"solver": "tabu", "opts": {"tenure": 8}, "seeds": [1, 2, 3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("solver")->as_string(), "tabu");
+  EXPECT_EQ(v.find("opts")->find("tenure")->as_int(), 8);
+  ASSERT_EQ(v.find("seeds")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("seeds")->as_array()[2].as_int(), 3);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(parse_json("[]").as_array().size(), 0u);
+  EXPECT_EQ(parse_json("{}").as_object().size(), 0u);
+}
+
+TEST(JsonReader, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, WhitespaceTolerant) {
+  EXPECT_EQ(parse_json(" \t\r\n { \"k\" : 1 } \n").find("k")->as_int(), 1);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{}{}"), std::invalid_argument);  // trailing
+  EXPECT_THROW(parse_json("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1 2]"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nul"), std::invalid_argument);
+  EXPECT_THROW(parse_json("01x"), std::invalid_argument);
+  EXPECT_THROW(parse_json("1."), std::invalid_argument);
+  // RFC 8259: no leading zeros ("0" itself and "0.5" stay valid).
+  EXPECT_THROW(parse_json("01"), std::invalid_argument);
+  EXPECT_THROW(parse_json("-007"), std::invalid_argument);
+  EXPECT_EQ(parse_json("0").as_int(), 0);
+  EXPECT_EQ(parse_json("-0").as_int(), 0);
+  EXPECT_DOUBLE_EQ(parse_json("0.5").as_double(), 0.5);
+  EXPECT_THROW(parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"bad\\q\""), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"\\ud83dx\""), std::invalid_argument);
+  EXPECT_THROW(parse_json(std::string(1, '\x01')), std::invalid_argument);
+}
+
+TEST(JsonReader, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_json(R"({"a":1,"a":2})"), std::invalid_argument);
+}
+
+TEST(JsonReader, RejectsRunawayNesting) {
+  const std::string deep(100, '[');
+  EXPECT_THROW(parse_json(deep), std::invalid_argument);
+}
+
+TEST(JsonReader, KindMismatchNamesKinds) {
+  try {
+    parse_json("[1]").as_string();
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("string"), std::string::npos);
+  }
+}
+
+TEST(JsonReader, ErrorsCarryByteOffset) {
+  try {
+    parse_json("{\"a\": nope}");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dabs

@@ -40,6 +40,50 @@ TEST(JsonWriter, EscapesStrings) {
   EXPECT_EQ(io::JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(JsonWriter, EscapesEveryControlCharacter) {
+  // All of 0x00..0x1F must come out escaped; the named short forms for the
+  // common ones, \u00XX for the rest.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = io::JsonWriter::escape(in);
+    ASSERT_GE(out.size(), 2u) << "control char " << c << " left unescaped";
+    EXPECT_EQ(out[0], '\\') << "control char " << c;
+  }
+  EXPECT_EQ(io::JsonWriter::escape("\r"), "\\r");
+  EXPECT_EQ(io::JsonWriter::escape("\t"), "\\t");
+  EXPECT_EQ(io::JsonWriter::escape("\x1f"), "\\u001f");
+  EXPECT_EQ(io::JsonWriter::escape("\x7f"), "\x7f");  // DEL needs no escape
+}
+
+TEST(JsonWriter, EscapesExtrasStyleKeysAndValues) {
+  // Report extras are caller-controlled strings: keys and values with
+  // quotes, backslashes, and control chars must produce parseable JSON.
+  std::ostringstream out;
+  {
+    io::JsonWriter j(out);
+    j.begin_object()
+        .value("path\\with\"quote", "C:\\tmp\n\"x\"")
+        .end_object();
+  }
+  EXPECT_EQ(out.str(),
+            R"({"path\\with\"quote":"C:\\tmp\n\"x\""})");
+}
+
+TEST(JsonWriter, Uint64RoundTripsFullRange) {
+  std::ostringstream out;
+  {
+    io::JsonWriter j(out);
+    j.begin_object()
+        .value("job_id", std::uint64_t{18446744073709551615ULL})
+        .begin_array("ids");
+    j.element(std::uint64_t{0}).element(std::uint64_t{9007199254740993ULL});
+    j.end_array().end_object();
+  }
+  // Top of the uint64 range must not collapse into a negative int64.
+  EXPECT_EQ(out.str(),
+            R"({"job_id":18446744073709551615,"ids":[0,9007199254740993]})");
+}
+
 TEST(JsonWriter, DestructorClosesOpenScopes) {
   std::ostringstream out;
   {

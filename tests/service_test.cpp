@@ -1,0 +1,457 @@
+// Tests for the batch solve service: scheduling, waiting, cancellation,
+// event logs, and the JSONL batch front end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json_reader.hpp"
+#include "io/qubo_text.hpp"
+#include "service/batch_runner.hpp"
+#include "service/solver_service.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+using service::BatchJob;
+using service::JobId;
+using service::JobSnapshot;
+using service::JobSpec;
+using service::JobState;
+using service::SolverService;
+
+std::shared_ptr<const QuboModel> shared_model(std::uint64_t seed,
+                                              std::size_t n = 48) {
+  return std::make_shared<const QuboModel>(
+      testing::random_model(n, 0.3, 9, seed));
+}
+
+/// Work-budget-only spec: deterministic stop, no wall clock involved.
+JobSpec budget_spec(std::shared_ptr<const QuboModel> model,
+                    const std::string& solver, std::uint64_t budget,
+                    std::uint64_t seed) {
+  JobSpec spec;
+  spec.model = std::move(model);
+  spec.solver = solver;
+  spec.stop.max_batches = budget;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(SolverService, RunsOneJobToCompletion) {
+  SolverService svc;
+  const JobId id = svc.submit(budget_spec(shared_model(1), "sa", 2000, 7));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.report.solver, "sa");
+  EXPECT_EQ(snap.report.best_solution.size(), 48u);
+  EXPECT_LT(snap.report.best_energy, kInfiniteEnergy);
+  EXPECT_FALSE(snap.report.cancelled);
+  // Service provenance lands in the extras.
+  EXPECT_EQ(snap.report.extras.at("job_id"), std::to_string(id));
+  EXPECT_EQ(svc.outstanding(), 0u);
+}
+
+// Acceptance: a fixed-seed job through the service is bit-identical to the
+// same SolveRequest run directly on a registry solver.
+TEST(SolverService, ServiceRunMatchesDirectRunBitExactly) {
+  const auto model = shared_model(3);
+  for (const char* name : {"sa", "tabu", "greedy-restart"}) {
+    SolverOptions options;
+    const auto solver = SolverRegistry::global().create(name, options);
+    SolveRequest req;
+    req.model = model.get();
+    req.stop.max_batches = 3000;
+    req.seed = 12345;
+    const SolveReport direct = solver->solve(req);
+
+    SolverService svc;
+    const JobId id = svc.submit(budget_spec(model, name, 3000, 12345));
+    const SolveReport via_service = svc.wait(id).report;
+
+    EXPECT_EQ(via_service.best_solution, direct.best_solution) << name;
+    EXPECT_EQ(via_service.best_energy, direct.best_energy) << name;
+    EXPECT_EQ(via_service.flips, direct.flips) << name;
+    EXPECT_EQ(via_service.batches, direct.batches) << name;
+    EXPECT_EQ(via_service.restarts, direct.restarts) << name;
+    EXPECT_EQ(via_service.cancelled, direct.cancelled) << name;
+  }
+}
+
+TEST(SolverService, SubmitValidatesSpec) {
+  SolverService svc;
+  JobSpec no_model;
+  no_model.solver = "sa";
+  EXPECT_THROW(svc.submit(std::move(no_model)), std::invalid_argument);
+
+  EXPECT_THROW(svc.submit(budget_spec(shared_model(1), "nope", 10, 1)),
+               std::invalid_argument);
+
+  JobSpec bad_options = budget_spec(shared_model(1), "sa", 10, 1);
+  bad_options.options.set("typo-key", "1");
+  EXPECT_THROW(svc.submit(std::move(bad_options)), std::invalid_argument);
+
+  EXPECT_THROW(svc.state(999), std::out_of_range);
+  EXPECT_THROW(svc.snapshot(999), std::out_of_range);
+  EXPECT_FALSE(svc.cancel(999));
+}
+
+TEST(SolverService, HigherPriorityRunsFirst) {
+  SolverService svc({/*threads=*/1, 64, service::ModelCache::kDefaultMaxBytes});
+  const auto model = shared_model(5);
+
+  // Blocker keeps the single worker busy (or holds the queue head) while
+  // the two probe jobs line up behind it.
+  JobSpec blocker = budget_spec(model, "sa", 0, 1);
+  blocker.stop.max_batches = 0;
+  blocker.stop.time_limit_seconds = 30.0;  // cancelled below
+  blocker.options.set("restarts", "1000000000");
+  const JobId blocker_id = svc.submit(std::move(blocker));
+
+  JobSpec low = budget_spec(model, "sa", 200, 2);
+  low.priority = 0;
+  const JobId low_id = svc.submit(std::move(low));
+
+  JobSpec high = budget_spec(model, "sa", 200, 3);
+  high.priority = 5;
+  const JobId high_id = svc.submit(std::move(high));
+
+  EXPECT_TRUE(svc.cancel(blocker_id));
+  svc.wait_all();
+
+  // Whatever the blocker did, the high-priority probe must have been
+  // popped (and therefore finished) before the low-priority one.
+  std::vector<JobId> order;
+  while (const std::optional<JobId> id = svc.wait_any_finished()) {
+    order.push_back(*id);
+  }
+  ASSERT_EQ(order.size(), 3u);
+  const auto pos = [&order](JobId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(high_id), pos(low_id));
+  EXPECT_EQ(svc.wait_any_finished(), std::nullopt);
+}
+
+TEST(SolverService, ExtremePrioritiesScheduleAndCancelCleanly) {
+  // INT_MIN priority is reachable from JSONL input; ordering and the
+  // queued-cancel erase path must handle the full int range without UB
+  // (this runs under UBSan in CI).
+  SolverService svc({/*threads=*/1, 64, service::ModelCache::kDefaultMaxBytes});
+  const auto model = shared_model(8);
+  JobSpec lowest = budget_spec(model, "sa", 100, 1);
+  lowest.priority = std::numeric_limits<int>::min();
+  JobSpec highest = budget_spec(model, "sa", 100, 2);
+  highest.priority = std::numeric_limits<int>::max();
+  const JobId low_id = svc.submit(std::move(lowest));
+  const JobId high_id = svc.submit(std::move(highest));
+  EXPECT_TRUE(svc.cancel(low_id) || svc.state(low_id) != JobState::kQueued);
+  svc.wait_all();
+  EXPECT_EQ(svc.wait(high_id).state, JobState::kDone);
+  EXPECT_TRUE(is_terminal(svc.state(low_id)));
+}
+
+// Satellite acceptance: N queued jobs, cancel half mid-flight, the rest
+// complete and every report stays well-formed (run under ASan+UBSan in CI).
+TEST(SolverService, CancellationUnderLoad) {
+  constexpr std::size_t kJobs = 16;
+  const auto model = shared_model(9);
+  SolverService svc({/*threads=*/2, 64, service::ModelCache::kDefaultMaxBytes});
+
+  std::vector<JobId> cancel_ids;
+  std::vector<JobId> run_ids;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    if (i % 2 == 0) {
+      // Unbounded-ish: only the StopToken can end these quickly.
+      JobSpec spec = budget_spec(model, "tabu", 0, i);
+      spec.stop.time_limit_seconds = 30.0;
+      spec.options.set("iterations", "1000000000000");
+      cancel_ids.push_back(svc.submit(std::move(spec)));
+    } else {
+      run_ids.push_back(
+          svc.submit(budget_spec(model, i % 4 == 1 ? "sa" : "greedy-restart",
+                                 1500, i)));
+    }
+  }
+
+  for (const JobId id : cancel_ids) EXPECT_TRUE(svc.cancel(id));
+  svc.wait_all();
+
+  for (const JobId id : cancel_ids) {
+    const JobSnapshot snap = svc.snapshot(id);
+    EXPECT_EQ(snap.state, JobState::kCancelled) << "job " << id;
+    EXPECT_TRUE(snap.report.cancelled);
+  }
+  for (const JobId id : run_ids) {
+    const JobSnapshot snap = svc.snapshot(id);
+    EXPECT_EQ(snap.state, JobState::kDone) << "job " << id;
+    EXPECT_EQ(snap.report.best_solution.size(), model->size());
+    EXPECT_LT(snap.report.best_energy, kInfiniteEnergy);
+    EXPECT_FALSE(snap.report.cancelled);
+  }
+
+  // The completion stream delivers each job exactly once.
+  std::set<JobId> seen;
+  while (const std::optional<JobId> id = svc.wait_any_finished()) {
+    EXPECT_TRUE(seen.insert(*id).second);
+  }
+  EXPECT_EQ(seen.size(), kJobs);
+}
+
+TEST(SolverService, DestructorCancelsOutstandingJobs) {
+  const auto model = shared_model(2);
+  std::vector<JobId> ids;
+  {
+    SolverService svc({/*threads=*/1, 64,
+                       service::ModelCache::kDefaultMaxBytes});
+    for (int i = 0; i < 4; ++i) {
+      JobSpec spec = budget_spec(model, "sa", 0, i);
+      spec.stop.time_limit_seconds = 30.0;
+      spec.options.set("restarts", "1000000000");
+      ids.push_back(svc.submit(std::move(spec)));
+    }
+    // Destructor must fire every token and join without hanging.
+  }
+  SUCCEED();
+}
+
+TEST(SolverService, EventLogIsBoundedAndChronological) {
+  SolverService svc({/*threads=*/1, /*max_events_per_job=*/4,
+                     service::ModelCache::kDefaultMaxBytes});
+  JobSpec spec = budget_spec(shared_model(4), "greedy-restart", 4000, 11);
+  spec.tick_seconds = 1e-4;
+  spec.tag = "evented";
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_LE(snap.events.size(), 4u);
+  EXPECT_FALSE(snap.events.empty());  // greedy descent always improves once
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_LE(snap.events[i - 1].elapsed_seconds,
+              snap.events[i].elapsed_seconds);
+  }
+  EXPECT_EQ(snap.report.extras.at("tag"), "evented");
+}
+
+TEST(SolverService, ReleaseDropsTerminalJobsAndTheirClaims) {
+  SolverService svc;
+  const JobId done_id = svc.submit(budget_spec(shared_model(1), "sa", 300, 1));
+  (void)svc.wait(done_id);
+
+  EXPECT_FALSE(svc.release(999));  // unknown
+  EXPECT_TRUE(svc.release(done_id));
+  EXPECT_FALSE(svc.release(done_id));  // already gone
+  EXPECT_THROW(svc.state(done_id), std::out_of_range);
+  EXPECT_THROW(svc.snapshot(done_id), std::out_of_range);
+  // The released job's completion-stream claim went with it.
+  EXPECT_EQ(svc.try_any_finished(), std::nullopt);
+  EXPECT_EQ(svc.wait_any_finished(), std::nullopt);
+
+  // A claimed-then-released job behaves the same way.
+  const JobId second = svc.submit(budget_spec(shared_model(1), "sa", 300, 2));
+  (void)svc.wait(second);
+  ASSERT_EQ(svc.wait_any_finished(), second);
+  EXPECT_TRUE(svc.release(second));
+  EXPECT_EQ(svc.wait_any_finished(), std::nullopt);
+}
+
+TEST(SolverService, ReleaseRefusesRunningJobs) {
+  SolverService svc({/*threads=*/1, 64, service::ModelCache::kDefaultMaxBytes});
+  JobSpec spec = budget_spec(shared_model(2), "sa", 0, 1);
+  spec.stop.time_limit_seconds = 30.0;
+  spec.options.set("restarts", "1000000000");
+  const JobId id = svc.submit(std::move(spec));
+  EXPECT_FALSE(svc.release(id));  // queued or running: not releasable
+  EXPECT_TRUE(svc.cancel(id));
+  (void)svc.wait(id);
+  EXPECT_TRUE(svc.release(id));
+}
+
+TEST(SolverService, SpecExtrasMergeIntoReport) {
+  SolverService svc;
+  JobSpec spec = budget_spec(shared_model(6), "sa", 500, 3);
+  spec.extras["origin"] = "unit-test";
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.report.extras.at("origin"), "unit-test");
+}
+
+TEST(SolverService, PoolMetricsSettleAtZero) {
+  SolverService svc;
+  for (int i = 0; i < 6; ++i) {
+    (void)svc.submit(budget_spec(shared_model(1), "sa", 300, i));
+  }
+  svc.wait_all();
+  EXPECT_EQ(svc.queue_depth(), 0u);
+  EXPECT_EQ(svc.active_count(), 0u);
+  EXPECT_EQ(svc.outstanding(), 0u);
+  // The six equal models interned by the caller would have shared one
+  // cache entry; here they bypassed the cache, so it stays empty.
+  EXPECT_EQ(svc.cache().stats().entries, 0u);
+}
+
+// ---- JSONL front end -----------------------------------------------------
+
+TEST(BatchRunner, ParsesFullJobLine) {
+  const BatchJob job = service::parse_batch_job(
+      R"({"model": "m.txt", "format": "qubo", "solver": "tabu",
+          "options": {"tenure": 8, "seed": "9"}, "time_limit": 1.5,
+          "max_batches": 100, "target": -42, "seed": 7, "priority": 2,
+          "tag": "hot", "tick": 0.25})");
+  EXPECT_EQ(job.model_path, "m.txt");
+  EXPECT_EQ(job.format, "qubo");
+  EXPECT_EQ(job.spec.solver, "tabu");
+  EXPECT_EQ(job.spec.options.get("tenure", ""), "8");
+  EXPECT_EQ(job.spec.options.get("seed", ""), "9");
+  EXPECT_DOUBLE_EQ(job.spec.stop.time_limit_seconds, 1.5);
+  EXPECT_EQ(job.spec.stop.max_batches, 100u);
+  ASSERT_TRUE(job.spec.stop.target_energy.has_value());
+  EXPECT_EQ(*job.spec.stop.target_energy, -42);
+  ASSERT_TRUE(job.spec.seed.has_value());
+  EXPECT_EQ(*job.spec.seed, 7u);
+  EXPECT_EQ(job.spec.priority, 2);
+  EXPECT_EQ(job.spec.tag, "hot");
+  EXPECT_DOUBLE_EQ(job.spec.tick_seconds, 0.25);
+}
+
+TEST(BatchRunner, RejectsBadJobLines) {
+  EXPECT_THROW(service::parse_batch_job("[]"), std::invalid_argument);
+  EXPECT_THROW(service::parse_batch_job("{}"), std::invalid_argument);
+  EXPECT_THROW(service::parse_batch_job(R"({"model": ""})"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_batch_job(R"({"model": "m", "wat": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(service::parse_batch_job(R"({"model": "m", "seed": -1})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      service::parse_batch_job(R"({"model": "m", "time_limit": -2})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service::parse_batch_job(R"({"model": "m", "priority": 4294967296})"),
+      std::invalid_argument);
+  EXPECT_THROW(service::parse_batch_job(R"({"model": "m", "format": "x"})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      service::parse_batch_job(R"({"model": "m", "options": {"k": []}})"),
+      std::invalid_argument);
+}
+
+TEST(BatchRunner, TimeGovernedBudgetsLiftBaselineDefaults) {
+  StopCondition stop;
+  stop.time_limit_seconds = 1.0;
+  SolverOptions opts;
+  service::apply_time_governed_budgets("sa", stop, opts);
+  EXPECT_EQ(opts.get("restarts", ""), "1000000000");
+
+  // Explicit values win.
+  SolverOptions explicit_opts;
+  explicit_opts.set("restarts", "5");
+  service::apply_time_governed_budgets("sa", stop, explicit_opts);
+  EXPECT_EQ(explicit_opts.get("restarts", ""), "5");
+
+  // Unbounded runs keep the solver's own defaults.
+  SolverOptions untouched;
+  service::apply_time_governed_budgets("sa", StopCondition{}, untouched);
+  EXPECT_FALSE(untouched.has("restarts"));
+
+  // A target alone is not a bound: lifting on it would turn a
+  // terminating run into an unbounded one.
+  StopCondition target_only;
+  target_only.target_energy = -999999;
+  SolverOptions target_opts;
+  service::apply_time_governed_budgets("sa", target_only, target_opts);
+  EXPECT_FALSE(target_opts.has("restarts"));
+
+  // A work budget counts as a bound.
+  StopCondition work_only;
+  work_only.max_batches = 100;
+  SolverOptions work_opts;
+  service::apply_time_governed_budgets("sa", work_only, work_opts);
+  EXPECT_TRUE(work_opts.has("restarts"));
+}
+
+TEST(BatchRunner, EndToEndStreamsOneReportPerLine) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/batch_a.txt";
+  const std::string path_b = dir + "/batch_b.txt";
+  const std::string path_c = dir + "/batch_c.txt";  // same content as a
+  io::write_qubo_file(path_a, testing::random_model(24, 0.4, 5, 21));
+  io::write_qubo_file(path_b, testing::random_model(24, 0.4, 5, 22));
+  io::write_qubo_file(path_c, testing::random_model(24, 0.4, 5, 21));
+
+  std::ostringstream jobs;
+  jobs << "# header comment, then a blank line\n\n";
+  const char* solvers[] = {"sa", "tabu", "greedy-restart"};
+  for (int k = 0; k < 9; ++k) {
+    const std::string& path = (k % 3 == 0) ? path_a : (k % 3 == 1 ? path_b
+                                                                  : path_c);
+    jobs << R"({"model": ")" << path << R"(", "solver": ")" << solvers[k % 3]
+         << R"(", "max_batches": 400, "seed": )" << k << R"(, "tag": "j)" << k
+         << "\"}\n";
+  }
+  // Target-only job: unreachable target, no explicit budget — must be
+  // bounded by default_time_limit instead of hanging the batch.
+  jobs << R"({"model": ")" << path_a
+       << R"(", "solver": "sa", "target": -999999999, "seed": 99})" << "\n";
+  jobs << "this is not json\n";
+  jobs << R"({"model": ")" << path_a << R"(", "solver": "no-such"})" << "\n";
+  jobs << R"({"model": ")" << dir << R"(/missing.txt"})" << "\n";
+
+  std::istringstream in(jobs.str());
+  std::ostringstream out;
+  std::ostringstream err;
+  service::BatchOptions options;
+  options.threads = 4;
+  options.default_time_limit = 0.2;
+  const int exit_code = service::run_batch(in, out, err, options);
+  EXPECT_EQ(exit_code, 1);  // the three bad lines
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int done = 0;
+  int invalid = 0;
+  int failed = 0;
+  int cache_hits = 0;
+  std::set<std::uint64_t> job_ids;
+  while (std::getline(lines, line)) {
+    const io::JsonValue v = io::parse_json(line);  // every line parses
+    const std::string status = v.find("status")->as_string();
+    if (status == "done") {
+      ++done;
+      EXPECT_TRUE(job_ids.insert(static_cast<std::uint64_t>(
+                                     v.find("job_id")->as_int()))
+                      .second);
+      const io::JsonValue* report = v.find("report");
+      ASSERT_NE(report, nullptr);
+      EXPECT_LT(report->find("best_energy")->as_double(), 1e18);
+      const io::JsonValue* extras = report->find("extras");
+      ASSERT_NE(extras, nullptr);
+      if (extras->find("model_cache")->as_string() == "hit") ++cache_hits;
+    } else if (status == "failed") {
+      ++failed;  // the unreadable model file: environment, not schema
+      EXPECT_NE(v.find("error"), nullptr);
+    } else {
+      ++invalid;
+      EXPECT_EQ(status, "invalid");
+      EXPECT_NE(v.find("error"), nullptr);
+    }
+  }
+  EXPECT_EQ(done, 10);    // includes the target-only job, time-bounded
+  EXPECT_EQ(invalid, 2);  // non-JSON line, unknown solver
+  EXPECT_EQ(failed, 1);   // missing model file
+  // Repeated paths hit by key; path_c additionally dedupes by content
+  // against path_a, so at most two distinct models were parsed.
+  EXPECT_GE(cache_hits, 6);
+  EXPECT_NE(err.str().find("model cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dabs

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -193,6 +195,47 @@ TEST(ThreadPool, AtLeastOneThread) {
   pool.submit([&ran] { ran = true; });
   pool.wait_idle();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, QueueDepthAndActiveCountTrackWork) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.active_count(), 0u);
+
+  // Park both workers so queued tasks are observable.
+  std::mutex mu;
+  std::condition_variable cv;
+  int parked = 0;
+  bool release = false;
+  const auto blocker = [&] {
+    std::unique_lock lock(mu);
+    ++parked;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  pool.submit(blocker);
+  pool.submit(blocker);
+  {
+    // Wait until both workers are inside a task: active_count is exact.
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return parked == 2; });
+  }
+  EXPECT_EQ(pool.active_count(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([] {});
+  }
+  EXPECT_EQ(pool.queue_depth(), 5u);  // nobody free to pick them up
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.active_count(), 0u);
 }
 
 TEST(ThreadPool, TasksCanSubmitMoreTasks) {
