@@ -14,7 +14,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 output="${2:-${repo_root}/BENCH_micro.json}"
 suites=(bench_micro_incremental bench_micro_search bench_micro_pipeline
-        bench_micro_service)
+        bench_micro_service bench_micro_problems)
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT

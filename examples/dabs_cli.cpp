@@ -1,11 +1,17 @@
-// Command-line QUBO solver front end on the unified solver registry: load
-// a model from any supported format (QUBO text, Gset MaxCut, QAPLIB), run
-// any registered solver, and print the unified report as text or JSON.
+// Command-line QUBO solver front end on the unified solver + problem
+// registries: obtain an instance from any registered problem (generator or
+// file loader) or a legacy --format file, run any registered solver, and
+// print the unified report as text or JSON.  Problem runs additionally
+// decode the best solution into domain terms (cut weight, assignment +
+// cost, tour + length, Ising energy) and verify it — the verdict rides in
+// the report extras.
 //
 //   $ ./dabs_cli --list-solvers
+//   $ ./dabs_cli --list-problems
+//   $ ./dabs_cli --problem g22 --solver tabu --time-limit 5
+//   $ ./dabs_cli --problem qap --param kind=grid,rows=3,cols=4 --json
+//   $ ./dabs_cli --problem gset:G22 --solver tabu --opt tenure=8
 //   $ ./dabs_cli --format qubo model.txt --time-limit 5
-//   $ ./dabs_cli --format gset G22 --solver tabu --opt tenure=8 --json
-//   $ ./dabs_cli --format qaplib nug30.dat --devices 4 --s 0.1 --b 1.0
 //   $ ./dabs_cli model.txt --solver sa --target -1234 --campaign 100
 //
 // The batch subcommand runs a JSONL job file through the solve service
@@ -25,6 +31,7 @@
 #include "core/solver_registry.hpp"
 #include "io/json_writer.hpp"
 #include "io/solution_io.hpp"
+#include "problems/problem_registry.hpp"
 #include "qubo/model_info.hpp"
 #include "service/batch_runner.hpp"
 #include "util/arg_parser.hpp"
@@ -34,9 +41,17 @@ namespace {
 void usage(const std::string& prog) {
   std::cerr
       << "usage: " << prog << " [options] <model-file>\n"
+      << "       " << prog << " --problem <name[:path]> [options]\n"
       << "       " << prog << " batch <jobs.jsonl> [--jobs <n>] "
          "[--cache-mb <n>]\n"
       << "  --list-solvers              print the solver registry and exit\n"
+      << "  --list-problems             print the problem registry and exit\n"
+      << "  --problem <name[:path]>     solve a registered problem instead "
+         "of a\n"
+      << "                              model file; decodes and verifies "
+         "the result\n"
+      << "  --param k=v[,k=v...]        problem params (see "
+         "--list-problems)\n"
       << "  --format qubo|gset|qaplib   input format (default qubo)\n"
       << "  --solver <name>             any registered solver (default "
          "dabs)\n"
@@ -76,6 +91,14 @@ void usage(const std::string& prog) {
 void list_solvers() {
   for (const dabs::SolverInfo& info : dabs::SolverRegistry::global().list()) {
     std::cout << "  " << info.name << "\n      " << info.description << "\n";
+  }
+}
+
+void list_problems() {
+  for (const dabs::ProblemInfo& info :
+       dabs::ProblemRegistry::global().list()) {
+    std::cout << "  " << info.name << (info.takes_path ? ":<path>" : "")
+              << "\n      " << info.description << "\n";
   }
 }
 
@@ -158,6 +181,10 @@ int main(int argc, char** argv) {
       list_solvers();
       return 0;
     }
+    if (args.get_bool("list-problems")) {
+      list_problems();
+      return 0;
+    }
     // The subcommand shape is exactly `batch <jobs.jsonl>`; a model file
     // literally named "batch" is still reachable as `./batch`.
     if (args.positional().size() == 2 && args.positional()[0] == "batch" &&
@@ -170,19 +197,48 @@ int main(int argc, char** argv) {
                    "'batch', use ./batch)\n";
       return 2;
     }
-    if (args.positional().size() != 1 || args.get_bool("help")) {
+    const bool problem_run = args.has("problem");
+    if (args.positional().size() != (problem_run ? 0u : 1u) ||
+        args.get_bool("help")) {
       usage(args.program());
       return 2;
     }
-    const std::string path = args.positional()[0];
-    const std::string format = args.get("format", "qubo");
-    if (!service::known_model_format(format)) {
-      std::cerr << "unknown format '" << format << "'\n";
-      return 2;
+
+    // Instance acquisition: a registered problem (decoded and verified
+    // after the solve) or the legacy model-file path (raw energies only —
+    // its fixed-seed reports are stable across releases).
+    std::unique_ptr<Problem> problem;
+    QuboModel model;
+    if (problem_run) {
+      if (args.has("format")) {
+        // Mirrors the batch front end: fold the loader into the spec.
+        std::cerr << "--format applies to model files only (use --problem "
+                  << args.get("format", "") << ":<path> instead)\n";
+        return 2;
+      }
+      SolverOptions problem_params;
+      if (const auto spec = args.get("param")) {
+        parse_opts(*spec, problem_params);
+      }
+      problem = ProblemRegistry::global().create(args.get("problem", ""),
+                                                 problem_params);
+      model = problem->encode();
+    } else {
+      if (args.has("param")) {
+        std::cerr << "--param requires --problem\n";
+        return 2;
+      }
+      const std::string path = args.positional()[0];
+      const std::string format = args.get("format", "qubo");
+      if (!service::known_model_format(format)) {
+        std::cerr << "unknown format '" << format << "'\n";
+        return 2;
+      }
+      model = service::load_model_file(format, path);
     }
-    const QuboModel model = service::load_model_file(format, path);
 
     if (args.get_bool("describe")) {
+      if (problem) std::cout << problem->describe() << "\n";
       std::cout << describe_model(analyze_model(model));
       return 0;
     }
@@ -294,7 +350,17 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const SolveReport report = solver->solve(req);
+    SolveReport report = solver->solve(req);
+
+    // Problem runs: decode the best solution into domain terms and verify
+    // it against an independent energy re-evaluation; the verdict travels
+    // in the report extras ("objective", "feasible", "verified", ...).
+    if (problem && report.best_solution.size() == model.size()) {
+      const DomainSolution sol = problem->decode(report.best_solution);
+      const VerifyResult verdict = problem->verify(
+          report.best_solution, model.energy(report.best_solution));
+      annotate_extras(*problem, sol, verdict, report.extras);
+    }
 
     if (save_path) {
       io::write_solution_file(*save_path, report.best_solution,

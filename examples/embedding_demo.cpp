@@ -1,67 +1,71 @@
-// Minor-embedding example (paper §I-A): run an arbitrary-topology QUBO on
-// a Chimera-topology "annealer" by clique embedding — the mechanism that
-// lets D-Wave machines (and our simulated ones) handle dense models.
+// Minor-embedding example (paper §I-A) on the unified problem surface: run
+// an arbitrary-topology QUBO on a Chimera-topology "annealer" by clique
+// embedding — the mechanism that lets D-Wave machines (and our simulated
+// ones) handle dense models.  The registry's "chimera" entry generates a
+// random dense logical model (no annealer has its complete topology
+// natively) and wraps it in an EmbeddedQuboProblem, which owns the
+// embed/unembed pair.
 //
 //   $ ./embedding_demo [logical-vars] [chimera-m]
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
 
-#include "baseline/exhaustive.hpp"
-#include "core/dabs_solver.hpp"
-#include "problems/chimera.hpp"
-#include "problems/embedding.hpp"
-#include "qubo/qubo_builder.hpp"
-#include "rng/xorshift.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver_registry.hpp"
+#include "problems/problem_registry.hpp"
+#include "problems/standard_problems.hpp"
 
 int main(int argc, char** argv) {
-  namespace pr = dabs::problems;
+  using namespace dabs;
+  namespace pr = problems;
   const std::size_t n =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
   const std::size_t m =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : (n + 3) / 4;
 
-  // A random dense logical model — no annealer has this topology natively.
-  dabs::Rng rng(7);
-  dabs::QuboBuilder builder(n);
-  for (dabs::VarIndex i = 0; i < n; ++i) {
-    builder.add_linear(i, static_cast<dabs::Weight>(rng.next_index(9)) - 4);
-    for (dabs::VarIndex j = i + 1; j < n; ++j) {
-      builder.add_quadratic(i, j,
-                            static_cast<dabs::Weight>(rng.next_index(9)) - 4);
-    }
-  }
-  const dabs::QuboModel logical = builder.build();
-  std::cout << "logical model : " << logical.describe() << "\n";
-
-  // Embed into the Chimera annealer topology.
-  const pr::ChimeraGraph chimera(m);
-  const pr::Embedding emb = pr::chimera_clique_embedding(chimera, n);
-  pr::validate_clique_embedding(chimera, emb);
-  const dabs::QuboModel physical = pr::embed_qubo(logical, chimera, emb);
-  std::cout << "physical model: " << physical.describe() << " on Chimera C"
-            << m << " (chains of length " << emb.max_chain_length()
-            << ")\n";
+  const std::unique_ptr<Problem> problem = ProblemRegistry::global().create(
+      "chimera", {{"n", std::to_string(n)}, {"m", std::to_string(m)}});
+  const auto& embedded =
+      dynamic_cast<const pr::EmbeddedQuboProblem&>(*problem);
+  std::cout << "logical model : " << embedded.logical().describe() << "\n"
+            << problem->describe() << "\n";
 
   // Solve the *physical* problem, as an annealer would.
-  dabs::SolverConfig cfg;
-  cfg.devices = 2;
-  cfg.device.blocks = 2;
-  cfg.mode = dabs::ExecutionMode::kSynchronous;
-  cfg.stop.max_batches = 1500;
-  const dabs::SolveResult r = dabs::DabsSolver(cfg).solve(physical);
+  const QuboModel physical = problem->encode();
+  std::cout << "physical model: " << physical.describe() << "\n";
 
-  const bool intact = pr::chains_intact(r.best_solution, emb);
-  const dabs::BitVector decoded = pr::unembed(r.best_solution, emb);
-  std::cout << "chains intact : " << (intact ? "yes" : "no (majority vote)")
+  SolveRequest req;
+  req.model = &physical;
+  req.stop.max_batches = 1500;
+  const SolveReport report =
+      SolverRegistry::global()
+          .create("dabs", {{"devices", "2"}, {"blocks", "2"}})
+          ->solve(req);
+
+  // Decode: majority vote per chain; feasible iff every chain is intact.
+  const DomainSolution sol = problem->decode(report.best_solution);
+  const auto decoded = sol.extras.find("logical_solution");
+  std::cout << "chains intact : "
+            << (sol.feasible ? "yes" : "no (majority vote)") << "\n"
+            << "decoded vector: "
+            << (decoded != sol.extras.end() ? decoded->second : "(large)")
             << "\n"
-            << "decoded vector: " << decoded.to_string() << "\n"
-            << "logical energy: " << logical.energy(decoded) << "\n";
+            << "logical energy: " << sol.objective << "\n";
+  const VerifyResult verdict = problem->verify(
+      report.best_solution, physical.energy(report.best_solution));
+  std::cout << "verified      : " << (verdict.ok ? "ok" : verdict.message)
+            << "\n";
 
   // Ground truth when small enough.
   if (n <= 20) {
-    const auto truth = dabs::ExhaustiveSolver().solve(logical);
+    SolveRequest truth_req;
+    truth_req.model = &embedded.logical();
+    const SolveReport truth =
+        SolverRegistry::global().create("exhaustive")->solve(truth_req);
     std::cout << "exact optimum : " << truth.best_energy
-              << (truth.best_energy == logical.energy(decoded)
+              << (truth.best_energy == sol.objective
                       ? "  (embedding solve is optimal)"
                       : "")
               << "\n";

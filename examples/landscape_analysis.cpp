@@ -4,12 +4,14 @@
 // MaxCut, QAP and QASP models of comparable size.
 //
 //   $ ./landscape_analysis
+//
+// All three models come from the unified problem registry — the same specs
+// work in `dabs_cli --problem` and batch job lines.
 #include <iostream>
+#include <memory>
 
 #include "analysis/landscape.hpp"
-#include "problems/maxcut.hpp"
-#include "problems/qap.hpp"
-#include "problems/qasp.hpp"
+#include "problems/problem_registry.hpp"
 
 namespace {
 
@@ -38,18 +40,25 @@ void analyze(const std::string& name, const dabs::QuboModel& m,
 }  // namespace
 
 int main() {
-  namespace pr = dabs::problems;
+  auto& problems = dabs::ProblemRegistry::global();
 
   analyze("MaxCut (G-style sparse, 200 nodes)",
-          pr::maxcut_to_qubo(pr::make_random_maxcut(
-              200, 2000, pr::EdgeWeights::kPlusMinusOne, 1, "g")),
+          problems.create("maxcut", {{"n", "200"}, {"m", "2000"}})->encode(),
           11);
 
   analyze("QAP one-hot (nug-style 3x4, 144 vars)",
-          pr::qap_to_qubo(pr::make_grid_qap(3, 4, 10, 2, "nug")).model, 22);
+          problems
+              .create("qap", {{"kind", "grid"}, {"rows", "3"}, {"cols", "4"},
+                              {"max", "10"}, {"seed", "2"}})
+              ->encode(),
+          22);
 
   analyze("QASP r=16 (Pegasus P3, 144 qubits)",
-          pr::make_qasp_small(16, 3, 3).qubo, 33);
+          problems
+              .create("qasp", {{"r", "16"}, {"m", "3"}, {"graph-seed", "3"},
+                               {"value-seed", "4"}})
+              ->encode(),
+          33);
 
   std::cout << "\nExpected contrast: the QAP landscape shows few, deep, "
                "hard-to-reach minima (one-hot penalty walls), while MaxCut "

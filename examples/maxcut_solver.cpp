@@ -1,63 +1,67 @@
-// MaxCut example (paper §VI-A): solve a Gset-style graph with DABS and
-// compare against the simulated-annealing baseline.
+// MaxCut example (paper §VI-A) on the unified problem + solver surface:
+// obtain an instance from the problem registry, solve with DABS and the
+// simulated-annealing baseline, then decode and verify the cut.
 //
 //   $ ./maxcut_solver [gset-file]
 //
-// Without an argument a G22-like 2000-node instance is generated; with one,
-// a real Gset file (e.g. G22 downloaded from Ye's collection) is loaded.
+// Without an argument a G22-like (reduced-size) instance is generated;
+// with one, a real Gset file (e.g. G22 from Ye's collection) is loaded via
+// the "gset:<path>" problem spec.
 #include <iostream>
+#include <memory>
 
-#include "baseline/simulated_annealing.hpp"
-#include "core/dabs_solver.hpp"
-#include "io/gset.hpp"
-#include "problems/maxcut.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver_registry.hpp"
+#include "problems/problem_registry.hpp"
 
 int main(int argc, char** argv) {
-  namespace pr = dabs::problems;
+  using namespace dabs;
 
-  // 1. Obtain the instance.
-  pr::MaxCutInstance inst;
-  if (argc > 1) {
-    inst = dabs::io::read_gset_file(argv[1]);
-  } else {
-    // Reduced-size stand-in so the example finishes in seconds on a laptop.
-    inst = pr::make_random_maxcut(400, 4000, pr::EdgeWeights::kPlusOne, 22,
-                                  "G22-mini");
+  // 1. Obtain the instance: one spec string covers files and generators.
+  const std::string spec =
+      argc > 1 ? "gset:" + std::string(argv[1])
+               // Reduced-size G22 stand-in so the example finishes in
+               // seconds on a laptop.
+               : "maxcut";
+  SolverOptions params;
+  if (argc <= 1) {
+    params = {{"n", "400"}, {"m", "4000"}, {"weights", "p1"}, {"seed", "22"}};
   }
-  std::cout << "instance " << inst.name << ": " << inst.n << " nodes, "
-            << inst.edges.size() << " edges\n";
+  const std::unique_ptr<Problem> problem =
+      ProblemRegistry::global().create(spec, params);
+  std::cout << problem->describe() << "\n";
 
-  // 2. Reduce to QUBO: E(X) = -cut(X).
-  const dabs::QuboModel model = pr::maxcut_to_qubo(inst);
+  // 2. Encode: E(X) = -cut(X).
+  const QuboModel model = problem->encode();
 
-  // 3. DABS with the paper's MaxCut parameters (s = 0.1, b = 10).
-  dabs::SolverConfig config;
-  config.devices = 2;
-  config.device.blocks = 2;
-  config.device.batch.search_flip_factor = 0.1;
-  config.device.batch.batch_flip_factor = 10.0;
-  config.mode = dabs::ExecutionMode::kThreaded;
-  config.stop.time_limit_seconds = 5.0;
-  const dabs::SolveResult dabs_result = dabs::DabsSolver(config).solve(model);
-  std::cout << "DABS: cut " << -dabs_result.best_energy << " in "
-            << dabs_result.batches << " batches / "
-            << dabs_result.elapsed_seconds << "s\n";
+  // 3. DABS with the paper's MaxCut parameters (s = 0.1, b = 10), then the
+  // SA baseline under the same wall-clock budget — both via the registry.
+  SolveRequest req;
+  req.model = &model;
+  req.stop.time_limit_seconds = 5.0;
+  const SolveReport dabs_report =
+      SolverRegistry::global()
+          .create("dabs", {{"devices", "2"},
+                           {"blocks", "2"},
+                           {"s", "0.1"},
+                           {"b", "10"},
+                           {"threads", "true"}})
+          ->solve(req);
+  const DomainSolution dabs_cut = problem->decode(dabs_report.best_solution);
+  std::cout << "DABS: cut " << dabs_cut.objective << " in "
+            << dabs_report.batches << " batches / "
+            << dabs_report.elapsed_seconds << "s\n";
 
-  // 4. SA baseline under the same wall-clock budget.
-  dabs::SaParams sa;
-  sa.sweeps = 1000;
-  sa.restarts = 1000000;
-  sa.time_limit_seconds = 5.0;
-  const dabs::BaselineResult sa_result =
-      dabs::SimulatedAnnealing(sa).solve(model);
-  std::cout << "SA  : cut " << -sa_result.best_energy << " in "
-            << sa_result.elapsed_seconds << "s\n";
+  const SolveReport sa_report =
+      SolverRegistry::global()
+          .create("sa", {{"sweeps", "1000"}, {"restarts", "1000000"}})
+          ->solve(req);
+  std::cout << "SA  : cut " << problem->decode(sa_report.best_solution).objective
+            << " in " << sa_report.elapsed_seconds << "s\n";
 
-  // 5. Verify the reported cut with the instance itself.
-  const dabs::Energy check = inst.cut_value(dabs_result.best_solution);
-  std::cout << "verified cut value: " << check
-            << (check == -dabs_result.best_energy ? " (consistent)"
-                                                  : " (MISMATCH!)")
-            << "\n";
-  return check == -dabs_result.best_energy ? 0 : 1;
+  // 4. Verify the reduction identity E(X) = -cut(X) on the DABS solution.
+  const VerifyResult verdict = problem->verify(
+      dabs_report.best_solution, model.energy(dabs_report.best_solution));
+  std::cout << "verified: " << (verdict.ok ? "ok" : verdict.message) << "\n";
+  return verdict.ok ? 0 : 1;
 }

@@ -1,57 +1,65 @@
-// QAP example (paper §II-B, §VI-B): reduce a facility-location problem to
-// QUBO by one-hot encoding, solve with DABS, decode and print the layout.
+// QAP example (paper §II-B, §VI-B) on the unified problem + solver
+// surface: one-hot encode a facility-location instance, solve with DABS,
+// decode the layout, and verify feasibility + the E(X) = C(g) - n p
+// identity.
 //
 //   $ ./qap_assignment [qaplib-file]
 //
 // Without an argument a Nugent-style 3x4 grid instance is generated (the
-// family of nug30); with one, a real QAPLIB .dat file is loaded.
+// family of nug30); with one, a real QAPLIB .dat file is loaded via the
+// "qaplib:<path>" problem spec.
 #include <iostream>
+#include <memory>
 
-#include "core/dabs_solver.hpp"
-#include "io/qaplib.hpp"
-#include "problems/qap.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver_registry.hpp"
+#include "problems/problem_registry.hpp"
 
 int main(int argc, char** argv) {
-  namespace pr = dabs::problems;
+  using namespace dabs;
 
-  pr::QapInstance inst;
-  if (argc > 1) {
-    inst = dabs::io::read_qaplib_file(argv[1]);
-  } else {
-    inst = pr::make_grid_qap(3, 4, 10, 30, "nug12-like");
+  const std::string spec =
+      argc > 1 ? "qaplib:" + std::string(argv[1]) : "qap";
+  SolverOptions params;
+  if (argc <= 1) {
+    params = {{"kind", "grid"}, {"rows", "3"}, {"cols", "4"},
+              {"max", "10"},    {"seed", "30"}};
   }
-  std::cout << "instance " << inst.name << ": n = " << inst.n << "\n";
+  const std::unique_ptr<Problem> problem =
+      ProblemRegistry::global().create(spec, params);
+  std::cout << problem->describe() << "\n";
 
-  // Reduce with an automatic penalty; E(X) = C(g) - n*p on feasible X.
-  const pr::QapQubo q = pr::qap_to_qubo(inst);
-  std::cout << "QUBO: " << q.model.describe() << ", penalty " << q.penalty
-            << "\n";
+  const QuboModel model = problem->encode();
+  std::cout << "QUBO: " << model.describe() << "\n";
 
-  dabs::SolverConfig config;
-  config.devices = 2;
-  config.device.blocks = 2;
-  config.device.batch.search_flip_factor = 0.1;  // paper QAP parameters
-  config.device.batch.batch_flip_factor = 1.0;
-  config.mode = dabs::ExecutionMode::kSynchronous;
-  config.stop.max_batches = 3000;
-  config.seed = 7;
+  // DABS with the paper's QAP parameters (s = 0.1, b = 1.0).
+  SolveRequest req;
+  req.model = &model;
+  req.stop.max_batches = 3000;
+  req.seed = 7;
+  const SolveReport report =
+      SolverRegistry::global()
+          .create("dabs",
+                  {{"devices", "2"}, {"blocks", "2"}, {"s", "0.1"},
+                   {"b", "1.0"}})
+          ->solve(req);
+  std::cout << "best energy " << report.best_energy << " after "
+            << report.batches << " batches\n";
 
-  const dabs::SolveResult r = dabs::DabsSolver(config).solve(q.model);
-  std::cout << "best energy " << r.best_energy << " after " << r.batches
-            << " batches\n";
-
-  const auto g = pr::decode_assignment(r.best_solution, inst.n);
-  if (!g) {
+  const DomainSolution sol = problem->decode(report.best_solution);
+  if (!sol.feasible) {
     std::cout << "best solution is not one-hot feasible — increase the "
                  "penalty or the batch budget\n";
     return 1;
   }
-  std::cout << "assignment cost C(g) = " << inst.cost(*g)
-            << "  (energy + n*penalty = "
-            << r.best_energy + dabs::Energy{q.penalty} * dabs::Energy(inst.n)
-            << ")\n";
-  for (std::size_t i = 0; i < g->size(); ++i) {
-    std::cout << "  facility " << i << " -> location " << (*g)[i] << "\n";
+  std::cout << "assignment cost C(g) = " << sol.objective << "\n";
+  for (std::size_t i = 0; i < sol.assignment.size(); ++i) {
+    std::cout << "  facility " << i << " -> location " << sol.assignment[i]
+              << "\n";
   }
-  return 0;
+
+  const VerifyResult verdict = problem->verify(
+      report.best_solution, model.energy(report.best_solution));
+  std::cout << "verified: " << (verdict.ok ? "ok" : verdict.message) << "\n";
+  return verdict.ok ? 0 : 1;
 }

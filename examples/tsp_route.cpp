@@ -1,51 +1,62 @@
-// TSP example (paper §II-B): Traveling Salesperson -> circular-flow QAP ->
-// one-hot QUBO -> DABS, decoded back into a tour and checked against brute
-// force.
+// TSP example (paper §II-B) on the unified problem surface: Traveling
+// Salesperson -> circular-flow QAP -> one-hot QUBO -> DABS, decoded back
+// into a tour, verified, and checked against brute force.  Demonstrates
+// constructing a Problem adapter directly (the registry's "tsp" entry
+// wraps the same class).
 //
 //   $ ./tsp_route [n-cities]
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
-#include "core/dabs_solver.hpp"
-#include "problems/qap.hpp"
-#include "problems/tsp.hpp"
+#include "core/solve_report.hpp"
+#include "core/solver_registry.hpp"
+#include "problems/standard_problems.hpp"
 
 int main(int argc, char** argv) {
-  namespace pr = dabs::problems;
+  using namespace dabs;
+  namespace pr = problems;
   const std::size_t n =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 7;
 
-  const pr::TspInstance tsp = pr::make_euclidean_tsp(n, 100, 99, "demo");
-  std::cout << "TSP with " << n << " cities\n";
+  // Chain of reductions from the paper, behind one adapter: the decoded
+  // QAP assignment *is* the tour (position -> city).
+  const pr::TspProblem problem(pr::make_euclidean_tsp(n, 100, 99, "demo"));
+  std::cout << problem.describe() << "\n";
 
-  // Chain of reductions from the paper: TSP -> QAP -> QUBO.
-  const pr::QapInstance qap = pr::tsp_to_qap(tsp);
-  const pr::QapQubo qubo = pr::qap_to_qubo(qap);
-  std::cout << "QAP -> " << qubo.model.describe() << " (penalty "
-            << qubo.penalty << ")\n";
+  const QuboModel model = problem.encode();
+  std::cout << "QAP -> " << model.describe() << " (penalty "
+            << problem.penalty() << ")\n";
 
-  dabs::SolverConfig cfg;
-  cfg.devices = 2;
-  cfg.device.blocks = 2;
-  cfg.mode = dabs::ExecutionMode::kSynchronous;
-  cfg.stop.max_batches = 4000;
-  cfg.seed = 3;
+  SolveRequest req;
+  req.model = &model;
+  req.stop.max_batches = 4000;
+  req.seed = 3;
   if (n <= 9) {
-    // With brute force available, stop as soon as the optimum is reached.
-    const dabs::Energy opt = pr::tsp_brute_force(tsp);
-    cfg.stop.target_energy = qubo.feasible_energy(opt);
+    // With brute force available, stop as soon as the optimum is reached:
+    // a tour of length L is a feasible vector at E = L - n * penalty.
+    const Energy opt = pr::tsp_brute_force(problem.tsp());
+    req.stop.target_energy =
+        opt - Energy{problem.penalty()} * Energy(n);
     std::cout << "optimal tour length (brute force): " << opt << "\n";
   }
 
-  const dabs::SolveResult r = dabs::DabsSolver(cfg).solve(qubo.model);
-  const auto g = pr::decode_assignment(r.best_solution, n);
-  if (!g) {
+  const SolveReport report =
+      SolverRegistry::global()
+          .create("dabs", {{"devices", "2"}, {"blocks", "2"}})
+          ->solve(req);
+
+  const DomainSolution sol = problem.decode(report.best_solution);
+  if (!sol.feasible) {
     std::cout << "no feasible tour found within the budget\n";
     return 1;
   }
-  // g maps tour position -> city.
   std::cout << "tour:";
-  for (const auto city : *g) std::cout << ' ' << city;
-  std::cout << "\ntour length: " << tsp.tour_length(*g) << "\n";
-  return 0;
+  for (const auto city : sol.assignment) std::cout << ' ' << city;
+  std::cout << "\ntour length: " << sol.objective << "\n";
+
+  const VerifyResult verdict = problem.verify(
+      report.best_solution, model.energy(report.best_solution));
+  std::cout << "verified: " << (verdict.ok ? "ok" : verdict.message) << "\n";
+  return verdict.ok ? 0 : 1;
 }

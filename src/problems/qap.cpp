@@ -23,18 +23,39 @@ Energy QapInstance::cost(const std::vector<VarIndex>& g) const {
   return c;
 }
 
-Weight default_qap_penalty(const QapInstance& inst) {
-  // A facility's worst-case total interaction cost bounds how much energy
-  // one assignment bit can remove; the penalty must exceed it so breaking
-  // one-hot feasibility never pays.
+Weight min_safe_qap_penalty(const QapInstance& inst) {
   const std::size_t n = inst.n;
+  DABS_CHECK(n >= 2, "QAP needs at least two facilities");
+  bool nonnegative = true;
+  for (const int v : inst.flow) nonnegative = nonnegative && v >= 0;
+  for (const int v : inst.dist) nonnegative = nonnegative && v >= 0;
+
+  // Dominance certificate (any sign): one assignment bit interacts with at
+  // most n-1 others at 2 max|l| max|d| each, so above this bound breaking
+  // one-hot feasibility never pays.
   int max_l = 0, max_d = 0;
   for (const int v : inst.flow) max_l = std::max(max_l, std::abs(v));
   for (const int v : inst.dist) max_d = std::max(max_d, std::abs(v));
-  const long long bound = 2LL * max_l * max_d * static_cast<long long>(n) + 1;
+  long long bound = 2LL * max_l * max_d * static_cast<long long>(n) + 1;
+
+  if (nonnegative) {
+    // Tighter certificate when every interaction term is >= 0: the penalty
+    // structure alone gives the documented infeasible floor
+    // E(X) >= -(n-1) p, so the optimum stays (strictly) feasible for any
+    // p above some feasible assignment's cost.  The identity assignment is
+    // the cheapest to evaluate; either certificate suffices, take the min.
+    std::vector<VarIndex> id(n);
+    std::iota(id.begin(), id.end(), 0);
+    bound = std::min(bound, static_cast<long long>(inst.cost(id)) + 1);
+  }
+  bound = std::max(bound, 1LL);
   DABS_CHECK(bound <= std::numeric_limits<Weight>::max() / 4,
              "instance magnitudes too large for an int32 penalty");
   return static_cast<Weight>(bound);
+}
+
+Weight default_qap_penalty(const QapInstance& inst) {
+  return min_safe_qap_penalty(inst);
 }
 
 QapQubo qap_to_qubo(const QapInstance& inst, Weight penalty) {

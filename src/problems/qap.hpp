@@ -50,10 +50,23 @@ struct QapQubo {
   }
 };
 
-/// Builds the QUBO; penalty 0 selects an automatic safe value.
+/// Builds the QUBO; penalty 0 selects min_safe_qap_penalty(inst).
 QapQubo qap_to_qubo(const QapInstance& inst, Weight penalty = 0);
 
-/// Penalty heuristic: larger than any single-assignment cost contribution.
+/// Smallest penalty certified safe via the documented infeasible-floor
+/// bound.  With non-negative flows and distances every interaction term of
+/// the encode is >= 0, so the one-hot penalty structure alone guarantees
+/// E(X) >= -(n-1) p for every infeasible X and any p > 0; the QUBO optimum
+/// is then feasible iff  C(g*) - n p < -(n-1) p,  i.e.  p > C(g*).  Any
+/// concrete assignment's cost upper-bounds C(g*), so the identity
+/// assignment certifies p = C(id) + 1.  Instances with negative entries
+/// (not produced by the generators, but loadable) fall back to the
+/// interaction-dominance bound 2 max|l| max|d| n + 1.
+Weight min_safe_qap_penalty(const QapInstance& inst);
+
+/// The automatic penalty used by qap_to_qubo(penalty = 0):
+/// min_safe_qap_penalty(inst).  Problem::verify() rejects encodes built
+/// with a smaller caller-supplied value as under-penalized.
 Weight default_qap_penalty(const QapInstance& inst);
 
 /// Decodes a one-hot vector into an assignment; nullopt when infeasible

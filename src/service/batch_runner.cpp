@@ -9,13 +9,9 @@
 #include <stdexcept>
 #include <utility>
 
-#include "io/gset.hpp"
 #include "io/json_reader.hpp"
 #include "io/json_writer.hpp"
-#include "io/qaplib.hpp"
-#include "io/qubo_text.hpp"
-#include "problems/maxcut.hpp"
-#include "problems/qap.hpp"
+#include "problems/problem.hpp"
 
 namespace dabs::service {
 
@@ -56,20 +52,17 @@ std::int64_t require_nonnegative(const char* key, std::int64_t v) {
 }  // namespace
 
 bool known_model_format(const std::string& format) {
-  return format == "qubo" || format == "gset" || format == "qaplib";
+  // Shim: the legacy formats are exactly the registry's file loaders.
+  return ProblemRegistry::global().is_loader(format);
 }
 
 QuboModel load_model_file(const std::string& format,
                           const std::string& path) {
-  if (format == "qubo") return io::read_qubo_file(path);
-  if (format == "gset") {
-    return problems::maxcut_to_qubo(io::read_gset_file(path));
+  if (!known_model_format(format)) {
+    throw std::invalid_argument("unknown model format '" + format +
+                                "' (expected qubo, gset, or qaplib)");
   }
-  if (format == "qaplib") {
-    return problems::qap_to_qubo(io::read_qaplib_file(path)).model;
-  }
-  throw std::invalid_argument("unknown model format '" + format +
-                              "' (expected qubo, gset, or qaplib)");
+  return ProblemRegistry::global().create(format + ":" + path)->encode();
 }
 
 BatchJob parse_batch_job(const std::string& json_line) {
@@ -80,12 +73,25 @@ BatchJob parse_batch_job(const std::string& json_line) {
 
   BatchJob job;
   bool have_model = false;
+  bool have_format = false;
+  bool have_problem = false;
+  bool have_params = false;
   for (const auto& [key, value] : root.as_object()) {
     if (key == "model") {
       job.model_path = value.as_string();
       have_model = true;
     } else if (key == "format") {
       job.format = value.as_string();
+      have_format = true;
+    } else if (key == "problem") {
+      job.problem = value.as_string();
+      have_problem = true;
+    } else if (key == "params") {
+      for (const auto& [param_key, param_value] : value.as_object()) {
+        job.params.set(param_key,
+                       option_to_string(param_key, param_value));
+      }
+      have_params = true;
     } else if (key == "solver") {
       job.spec.solver = value.as_string();
     } else if (key == "options") {
@@ -120,10 +126,25 @@ BatchJob parse_batch_job(const std::string& json_line) {
       throw std::invalid_argument("unknown job key '" + key + "'");
     }
   }
-  if (!have_model || job.model_path.empty()) {
+  if (have_model == have_problem) {
+    throw std::invalid_argument(
+        "job line requires exactly one of 'model' and 'problem'");
+  }
+  if (have_model && job.model_path.empty()) {
     throw std::invalid_argument("job line requires a non-empty 'model'");
   }
-  if (!known_model_format(job.format)) {
+  if (have_problem && job.problem.empty()) {
+    throw std::invalid_argument("job line requires a non-empty 'problem'");
+  }
+  if (have_format && have_problem) {
+    throw std::invalid_argument(
+        "'format' applies to 'model' jobs only (fold the loader into the "
+        "problem spec, e.g. \"gset:G22.txt\")");
+  }
+  if (have_params && !have_problem) {
+    throw std::invalid_argument("'params' requires a 'problem' job");
+  }
+  if (have_model && !known_model_format(job.format)) {
     throw std::invalid_argument("unknown model format '" + job.format +
                                 "' (expected qubo, gset, or qaplib)");
   }
@@ -152,7 +173,21 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
   SolverService service({options.threads, options.max_events_per_job,
                          options.cache_bytes});
 
-  std::map<JobId, std::size_t> line_of;  // in-flight only: pruned on emit
+  /// In-flight bookkeeping, pruned on emit.  Problem-keyed jobs keep their
+  /// Problem (decode/verify happens when the job finishes) and the cached
+  /// model (the verify energy is re-evaluated, not taken from the solver).
+  struct PendingJob {
+    std::size_t line = 0;
+    std::shared_ptr<const Problem> problem;
+    std::shared_ptr<const QuboModel> model;
+    std::string spec_key;  // problems_by_spec entry to prune on emit
+  };
+  std::map<JobId, PendingJob> in_flight;
+  // Spec-level problem dedupe: duplicated "problem"+"params" lines share
+  // one Problem instance (one generator run / file read), weakly held so
+  // a spec whose jobs all finished frees its instance data — only the
+  // LRU-bounded ModelCache retains big state across the whole batch.
+  std::map<std::string, std::weak_ptr<const Problem>> problems_by_spec;
   std::size_t line_no = 0;
   std::size_t submitted = 0;
   std::size_t invalid = 0;
@@ -179,13 +214,35 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   const auto emit_report = [&](JobId id) {
-    const JobSnapshot snap = service.snapshot(id);
+    const PendingJob& pending = in_flight.at(id);
+    JobSnapshot snap = service.snapshot(id);
     if (snap.state == JobState::kFailed) ++failed;
     if (snap.state == JobState::kCancelled) ++cancelled;
+    // Problem-keyed jobs: decode the solved bits into domain terms and
+    // verify them against the cached model (cancelled-while-queued jobs
+    // carry an empty solution — nothing to decode).  A deferred loader
+    // whose model came from the cache may read its file here for the
+    // first time; if that file vanished mid-batch the job still solved —
+    // report the run, flag the verification, never abort the batch.
+    if (pending.problem &&
+        snap.report.best_solution.size() == pending.model->size()) {
+      try {
+        const DomainSolution sol =
+            pending.problem->decode(snap.report.best_solution);
+        const VerifyResult verdict = pending.problem->verify(
+            snap.report.best_solution,
+            pending.model->energy(snap.report.best_solution));
+        annotate_extras(*pending.problem, sol, verdict, snap.report.extras);
+      } catch (const std::exception& e) {
+        snap.report.extras["problem"] = pending.problem->cache_key();
+        snap.report.extras["verified"] = "false";
+        snap.report.extras["verify_message"] = e.what();
+      }
+    }
     io::JsonWriter json(out);
     json.begin_object()
         .value("job_id", id)
-        .value("line", static_cast<std::uint64_t>(line_of.at(id)))
+        .value("line", static_cast<std::uint64_t>(pending.line))
         .value("status", to_string(snap.state));
     if (!snap.tag.empty()) json.value("tag", snap.tag);
     if (snap.state == JobState::kFailed) {
@@ -197,7 +254,16 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     out << "\n";
     out.flush();
     service.release(id);
-    line_of.erase(id);
+    const std::string spec_key = pending.spec_key;
+    in_flight.erase(id);  // invalidates `pending`
+    // Drop the spec entry once no in-flight job holds its problem, so a
+    // long batch of distinct specs does not accumulate stale weak_ptrs.
+    if (!spec_key.empty()) {
+      const auto it = problems_by_spec.find(spec_key);
+      if (it != problems_by_spec.end() && it->second.expired()) {
+        problems_by_spec.erase(it);
+      }
+    }
   };
 
   std::string line;
@@ -213,12 +279,41 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       emit_problem("invalid", "", e.what());
       continue;
     }
+    // Problem jobs resolve their registry spec first; a bad spec (unknown
+    // name, typo'd param) is the caller's input to fix.
+    std::shared_ptr<const Problem> problem;
+    std::string cache_key;
+    std::string spec_key;
+    if (!job.problem.empty()) {
+      spec_key = job.problem;
+      for (const auto& [k, v] : job.params.values()) {
+        spec_key += '\x1f' + k + '=' + v;
+      }
+      problem = problems_by_spec[spec_key].lock();
+      if (!problem) {
+        try {
+          problem =
+              ProblemRegistry::global().create(job.problem, job.params);
+        } catch (const std::exception& e) {
+          ++invalid;
+          emit_problem("invalid", job.spec.tag, e.what());
+          continue;
+        }
+        problems_by_spec[spec_key] = problem;
+      }
+      cache_key = "problem#" + problem->cache_key();
+    } else {
+      cache_key = job.format + "#" + job.model_path;
+    }
     bool cache_hit = false;
     std::shared_ptr<const QuboModel> model;
     try {
       model = service.cache().get_or_load(
-          job.format + "#" + job.model_path,
-          [&job] { return load_model_file(job.format, job.model_path); },
+          cache_key,
+          [&job, &problem] {
+            return problem ? problem->encode()
+                           : load_model_file(job.format, job.model_path);
+          },
           &cache_hit);
     } catch (const std::exception& e) {
       ++load_failed;
@@ -240,7 +335,7 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       job.spec.extras["model_cache_hits"] =
           std::to_string(service.cache().stats().hits);
       const JobId id = service.submit(std::move(job.spec));
-      line_of.emplace(id, line_no);
+      in_flight.emplace(id, PendingJob{line_no, problem, model, spec_key});
       ++submitted;
     } catch (const std::exception& e) {
       ++invalid;  // unknown solver / bad option values

@@ -2,10 +2,13 @@
 // run them concurrently, stream one report object per line as jobs finish
 // (out of order — each output line carries its job id and input line).
 //
-// Input line schema (only "model" is required):
+// Input line schema (exactly one of "model" / "problem" is required):
 //
 //   {"model": "k2000.txt",        // problem file, parsed once per path
-//    "format": "qubo",            // qubo | gset | qaplib
+//    "format": "qubo",            // qubo | gset | qaplib (with "model")
+//    "problem": "tsp",            // OR: any ProblemRegistry spec, e.g.
+//                                 //     "qap", "g39", "gset:G22.txt"
+//    "params": {"n": 8},          // problem params (with "problem")
 //    "solver": "tabu",            // any registry name (default dabs)
 //    "options": {"tenure": 8},    // solver options (string/number/bool)
 //    "time_limit": 2.5,           // StopCondition seconds
@@ -14,16 +17,22 @@
 //    "seed": 7, "priority": 2, "tag": "hot", "tick": 0.5}
 //
 // Blank lines and lines starting with '#' are skipped.  Every model flows
-// through the service's ModelCache keyed by "<format>#<path>", so repeated
-// paths skip the parse and equal-content files share storage; each report's
-// extras record the outcome ("model_cache": hit|miss, "model_cache_hits":
-// running total).
+// through the service's ModelCache — legacy file jobs keyed by
+// "<format>#<path>", problem jobs by "problem#<canonical key>" — so
+// repeated specs skip the encode and equal-content instances share
+// storage; each report's extras record the outcome ("model_cache":
+// hit|miss, "model_cache_hits": running total).  Problem-keyed jobs are
+// additionally decoded and verified when they finish: their report extras
+// carry "objective", "objective_name", "feasible", and "verified" (the
+// energy is independently re-evaluated against the cached model, not
+// trusted from the solver).
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "problems/problem_registry.hpp"
 #include "service/model_cache.hpp"
 #include "service/solver_service.hpp"
 
@@ -41,10 +50,16 @@ struct BatchOptions {
   std::size_t max_events_per_job = 64;
 };
 
-/// One parsed job line, model not yet loaded.
+/// One parsed job line, model not yet loaded.  Exactly one of
+/// `model_path` (+ `format`) and `problem` (+ `params`) is set.
 struct BatchJob {
   std::string model_path;
   std::string format = "qubo";
+  /// ProblemRegistry spec ("qap", "gset:G22.txt", ...); empty for legacy
+  /// file jobs.
+  std::string problem;
+  /// Problem params (the "params" object), forwarded to the registry.
+  SolverOptions params;
   JobSpec spec;  // spec.model stays null until the runner loads it
 };
 
@@ -52,12 +67,15 @@ struct BatchJob {
 /// message on schema violations.
 BatchJob parse_batch_job(const std::string& json_line);
 
-/// The model formats the front ends accept: qubo, gset, qaplib.
+/// Deprecated shim over ProblemRegistry (kept for the legacy "format"
+/// key): true exactly for the registered file-loader families — qubo,
+/// gset, qaplib.  New code should query ProblemRegistry::global().
 bool known_model_format(const std::string& format);
 
-/// Loads a model file in any known format (the one format -> reader
-/// dispatch, shared with the single-run CLI).  Throws std::invalid_argument
-/// for an unknown format and the reader's error on IO failure.
+/// Deprecated shim over ProblemRegistry (the one loader surface): builds
+/// "<format>:<path>" and encodes it.  Throws std::invalid_argument for an
+/// unknown format and the reader's error on IO failure.  New code should
+/// create a Problem and keep it for decode/verify.
 QuboModel load_model_file(const std::string& format,
                           const std::string& path);
 

@@ -174,13 +174,34 @@ TEST(Qap, QuboHasExpectedVariableCount) {
   for (VarIndex v = 0; v < 25; ++v) EXPECT_EQ(q.model.diag(v), -1000);
 }
 
-TEST(Qap, DefaultPenaltyDominatesInteractions) {
+TEST(Qap, DefaultPenaltyIsTheCertifiedBound) {
+  // The automatic penalty is computed, not a magic constant: the min of
+  // the two certificates — C(identity) + 1 (with non-negative entries the
+  // feasible optimum C(g*) - n p then undercuts every infeasible vector's
+  // documented floor of -(n-1) p) and the sign-agnostic interaction-
+  // dominance bound 2 max|l| max|d| n + 1.
   const auto inst = pr::make_uniform_qap(6, 20, 14);
   const Weight p = pr::default_qap_penalty(inst);
+  EXPECT_EQ(p, pr::min_safe_qap_penalty(inst));
+  std::vector<VarIndex> id(inst.n);
+  std::iota(id.begin(), id.end(), 0);
   int max_l = 0, max_d = 0;
-  for (int v : inst.flow) max_l = std::max(max_l, v);
-  for (int v : inst.dist) max_d = std::max(max_d, v);
-  EXPECT_GT(p, 2 * max_l * max_d);
+  for (int v : inst.flow) max_l = std::max(max_l, std::abs(v));
+  for (int v : inst.dist) max_d = std::max(max_d, std::abs(v));
+  EXPECT_EQ(Energy{p}, std::min(inst.cost(id) + 1,
+                                Energy{2} * max_l * max_d * 6 + 1));
+  EXPECT_LE(Energy{p}, inst.cost(id) + 1);
+}
+
+TEST(Qap, MinSafePenaltyUsesDominanceAloneOnNegativeEntries) {
+  auto inst = tiny_qap();
+  inst.flow[1] = -5;  // negative entry voids the interaction floor
+  inst.flow[3] = -5;
+  const Weight p = pr::min_safe_qap_penalty(inst);
+  int max_l = 0, max_d = 0;
+  for (int v : inst.flow) max_l = std::max(max_l, std::abs(v));
+  for (int v : inst.dist) max_d = std::max(max_d, std::abs(v));
+  EXPECT_EQ(p, 2 * max_l * max_d * 3 + 1);
 }
 
 }  // namespace

@@ -322,6 +322,19 @@ TEST(BatchRunner, ParsesFullJobLine) {
   EXPECT_DOUBLE_EQ(job.spec.tick_seconds, 0.25);
 }
 
+TEST(BatchRunner, ParsesProblemJobLine) {
+  const BatchJob job = service::parse_batch_job(
+      R"({"problem": "qap", "params": {"kind": "uniform", "n": 4, "seed": 7},
+          "solver": "sa", "max_batches": 50})");
+  EXPECT_EQ(job.problem, "qap");
+  EXPECT_TRUE(job.model_path.empty());
+  EXPECT_EQ(job.params.get("kind", ""), "uniform");
+  EXPECT_EQ(job.params.get("n", ""), "4");
+  EXPECT_EQ(job.params.get("seed", ""), "7");
+  EXPECT_EQ(job.spec.solver, "sa");
+  EXPECT_EQ(job.spec.stop.max_batches, 50u);
+}
+
 TEST(BatchRunner, RejectsBadJobLines) {
   EXPECT_THROW(service::parse_batch_job("[]"), std::invalid_argument);
   EXPECT_THROW(service::parse_batch_job("{}"), std::invalid_argument);
@@ -341,6 +354,18 @@ TEST(BatchRunner, RejectsBadJobLines) {
                std::invalid_argument);
   EXPECT_THROW(
       service::parse_batch_job(R"({"model": "m", "options": {"k": []}})"),
+      std::invalid_argument);
+  // The model/problem split: exactly one, with its matching companions.
+  EXPECT_THROW(service::parse_batch_job(R"({"problem": ""})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      service::parse_batch_job(R"({"model": "m", "problem": "qap"})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service::parse_batch_job(R"({"problem": "qap", "format": "qubo"})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service::parse_batch_job(R"({"model": "m", "params": {"n": 4}})"),
       std::invalid_argument);
 }
 
@@ -451,6 +476,81 @@ TEST(BatchRunner, EndToEndStreamsOneReportPerLine) {
   // against path_a, so at most two distinct models were parsed.
   EXPECT_GE(cache_hits, 6);
   EXPECT_NE(err.str().find("model cache"), std::string::npos);
+}
+
+TEST(BatchRunner, ProblemJobsDecodeVerifyAndShareCache) {
+  // Two identical problem specs (cache key dedupe), one MaxCut job, one
+  // unknown problem, one typo'd param; the legacy "format" path rides in
+  // the same batch.
+  std::ostringstream jobs;
+  jobs << R"({"problem": "qap", "params": {"kind": "uniform", "n": 4,)"
+       << R"( "seed": 171}, "solver": "sa", "max_batches": 30000,)"
+       << R"( "seed": 1, "tag": "qap-a"})" << "\n"
+       << R"({"problem": "qap", "params": {"kind": "uniform", "n": 4,)"
+       << R"( "seed": 171}, "solver": "tabu", "max_batches": 20000,)"
+       << R"( "seed": 2, "tag": "qap-b"})" << "\n"
+       << R"({"problem": "maxcut", "params": {"n": 24, "m": 60},)"
+       << R"( "solver": "greedy-restart", "max_batches": 20000, "seed": 3})"
+       << "\n"
+       << R"({"problem": "no-such-problem"})" << "\n"
+       << R"({"problem": "qap", "params": {"wat": 1}})" << "\n"
+       << R"({"problem": "gset:/no/such/file.txt"})" << "\n";
+
+  std::istringstream in(jobs.str());
+  std::ostringstream out;
+  std::ostringstream err;
+  service::BatchOptions options;
+  options.threads = 2;
+  const int exit_code = service::run_batch(in, out, err, options);
+  EXPECT_EQ(exit_code, 1);  // the two invalid problem lines
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int done = 0;
+  int invalid = 0;
+  int load_failed = 0;
+  int cache_hits = 0;
+  int verified = 0;
+  while (std::getline(lines, line)) {
+    const io::JsonValue v = io::parse_json(line);
+    const std::string status = v.find("status")->as_string();
+    if (status == "failed") {
+      // The unreadable gset file: environment, not schema — retryable
+      // even though it arrived as a problem spec.
+      ++load_failed;
+      continue;
+    }
+    if (status != "done") {
+      ++invalid;
+      EXPECT_EQ(status, "invalid");
+      continue;
+    }
+    ++done;
+    const io::JsonValue* extras = v.find("report")->find("extras");
+    ASSERT_NE(extras, nullptr);
+    // Satellite contract: problem-keyed jobs stream their decoded domain
+    // objective and feasibility verdict.
+    ASSERT_NE(extras->find("objective"), nullptr);
+    ASSERT_NE(extras->find("feasible"), nullptr);
+    EXPECT_EQ(extras->find("feasible")->as_string(), "true");
+    if (extras->find("verified")->as_string() == "true") ++verified;
+    if (extras->find("model_cache")->as_string() == "hit") ++cache_hits;
+    const std::string objective_name =
+        extras->find("objective_name")->as_string();
+    if (objective_name == "assignment_cost") {
+      // Both QAP jobs solved the 4-facility instance to its optimum (the
+      // budget dwarfs the 16-variable space): fixed decoded cost 440.
+      EXPECT_EQ(extras->find("objective")->as_string(), "440");
+      EXPECT_EQ(extras->find("assignment")->as_string(), "2 1 3 0");
+    } else {
+      EXPECT_EQ(objective_name, "cut");
+    }
+  }
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(invalid, 2);
+  EXPECT_EQ(load_failed, 1);
+  EXPECT_EQ(verified, 3);
+  EXPECT_EQ(cache_hits, 1);  // the duplicated qap spec shares one model
 }
 
 }  // namespace
