@@ -5,11 +5,14 @@
 // the fused flip_and_scan entry point.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "ga/genetic_ops.hpp"
 #include "problems/maxcut.hpp"
 #include "qubo/qubo_builder.hpp"
 #include "qubo/search_state.hpp"
 #include "rng/xorshift.hpp"
+#include "search/bulk_search_state.hpp"
 
 namespace dabs {
 namespace {
@@ -122,6 +125,69 @@ void BM_FlipAndScanK2000(benchmark::State& state) {
   state.SetLabel(to_string(backend));
 }
 BENCHMARK(BM_FlipAndScanK2000)
+    ->Arg(static_cast<int>(QuboBackend::kCsr))
+    ->Arg(static_cast<int>(QuboBackend::kDense));
+
+// Bulk replica engine on K2000: 64 replicas advance per chunk pass, so one
+// dense row load amortizes across 64 delta updates.  items_per_second
+// counts *lane-flips* (positions x 64 lanes) — the aggregate flip
+// throughput to compare against BM_FlipK2000's single-replica number.
+// Build with -DDABS_NATIVE=ON for the published numbers: the int16 kernel
+// needs the host's full vector width to pay off.
+void BM_BulkFlipK2000(benchmark::State& state) {
+  constexpr std::size_t kReplicas = 64;
+  constexpr std::size_t kChunk = BulkSearchState::kMaxChunk;
+  const auto backend = static_cast<QuboBackend>(state.range(0));
+  const QuboModel& m = k2000(backend);
+  BulkSearchState s(m, kReplicas);
+  Rng rng(4);
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    s.reset_to(r, random_bit_vector(m.size(), rng));
+  }
+  const auto n = static_cast<VarIndex>(m.size());
+  const std::vector<std::uint64_t> full(kChunk, ~std::uint64_t{0});
+  std::vector<VarIndex> idx(kChunk);
+  VarIndex i = 0;
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < kChunk; ++p) {
+      idx[p] = i;
+      i = static_cast<VarIndex>((i + 1) % n);
+    }
+    s.flip_chunk(idx, full);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kChunk * kReplicas));
+  state.SetLabel(to_string(backend));
+}
+BENCHMARK(BM_BulkFlipK2000)
+    ->Arg(static_cast<int>(QuboBackend::kCsr))
+    ->Arg(static_cast<int>(QuboBackend::kDense));
+
+// Bulk fused Step 3 + Step 1: one masked flip + the 64-lane scan per
+// iteration — the bulk equivalent of BM_FlipAndScanK2000.
+void BM_BulkFlipAndScanK2000(benchmark::State& state) {
+  constexpr std::size_t kReplicas = 64;
+  const auto backend = static_cast<QuboBackend>(state.range(0));
+  const QuboModel& m = k2000(backend);
+  BulkSearchState s(m, kReplicas);
+  Rng rng(5);
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    s.reset_to(r, random_bit_vector(m.size(), rng));
+  }
+  const auto n = static_cast<VarIndex>(m.size());
+  const std::vector<std::uint64_t> full(1, ~std::uint64_t{0});
+  std::vector<ScanResult> out(kReplicas);
+  VarIndex i = 0;
+  for (auto _ : state) {
+    s.flip_and_scan(i, full, out);
+    benchmark::DoNotOptimize(out.data());
+    i = static_cast<VarIndex>((i + 1) % n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kReplicas));
+  state.SetLabel(to_string(backend));
+}
+BENCHMARK(BM_BulkFlipAndScanK2000)
     ->Arg(static_cast<int>(QuboBackend::kCsr))
     ->Arg(static_cast<int>(QuboBackend::kDense));
 

@@ -248,6 +248,20 @@ SolveResult run_dabs(const SolverConfig& cfg, const QuboModel& model,
     ctx.handle_result(p);
   }
 
+  // A run cancelled before the first device result must still report a
+  // real (solution, energy) pair, so fold one evaluated initial pool
+  // entry into the global best exactly like a warm start.
+  if (ctx.best_energy == kInfiniteEnergy) {
+    const PoolEntry first = ring.pool(0).entry(0);
+    Packet p;
+    p.solution = first.solution;
+    p.energy = model.energy(p.solution);
+    p.algo = first.algo;
+    p.op = first.op;
+    p.pool_index = 0;
+    ctx.handle_result(p);
+  }
+
   if (cfg.mode == ExecutionMode::kThreaded) {
     run_threaded(ctx, group, seeder);
   } else {

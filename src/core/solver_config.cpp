@@ -7,6 +7,10 @@ namespace dabs {
 void SolverConfig::validate() const {
   DABS_CHECK(devices > 0, "at least one device is required");
   DABS_CHECK(device.blocks > 0, "at least one block per device is required");
+  DABS_CHECK(device.replicas > 0,
+             "at least one replica per block is required");
+  DABS_CHECK(device.replicas == 1 || mode == ExecutionMode::kThreaded,
+             "replicas > 1 requires threaded execution mode");
   DABS_CHECK(pool_capacity > 0, "pool capacity must be positive");
   DABS_CHECK(!algorithms.empty(), "at least one main search algorithm");
   DABS_CHECK(!operations.empty(), "at least one genetic operation");

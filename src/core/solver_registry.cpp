@@ -151,6 +151,8 @@ SolverConfig bulk_config(const SolverOptions& o) {
   cfg.devices = o.get_u64("devices", cfg.devices);
   cfg.device.blocks = static_cast<std::uint32_t>(
       o.get_u64("blocks", cfg.device.blocks));
+  cfg.device.replicas = static_cast<std::uint32_t>(
+      o.get_u64("replicas", cfg.device.replicas));
   cfg.device.batch.search_flip_factor =
       o.get_double("s", cfg.device.batch.search_flip_factor);
   cfg.device.batch.batch_flip_factor =
@@ -159,23 +161,25 @@ SolverConfig bulk_config(const SolverOptions& o) {
   cfg.seed = o.get_u64("seed", cfg.seed);
   cfg.explore_prob = o.get_double("explore", cfg.explore_prob);
   // Synchronous (bit-reproducible) by default; opt into the threaded
-  // host/device pipeline explicitly.
-  cfg.mode = o.get_bool("threads", false) ? ExecutionMode::kThreaded
-                                          : ExecutionMode::kSynchronous;
+  // host/device pipeline explicitly.  Bulk blocks (replicas > 1) gather
+  // packets concurrently, so they imply threaded mode.
+  cfg.mode = o.get_bool("threads", cfg.device.replicas > 1)
+                 ? ExecutionMode::kThreaded
+                 : ExecutionMode::kSynchronous;
   return cfg;
 }
 
 void register_builtin_solvers(SolverRegistry& reg) {
   reg.add("dabs",
           "Diverse Adaptive Bulk Search (the paper's solver) "
-          "[devices, blocks, pool, s, b, explore, seed, threads]",
+          "[devices, blocks, replicas, pool, s, b, explore, seed, threads]",
           [](const SolverOptions& o) -> std::unique_ptr<Solver> {
             return std::make_unique<DabsSolver>(bulk_config(o));
           });
   reg.add("abs",
           "Adaptive Bulk Search predecessor: CyclicMin + mutate-crossover, "
-          "no diversity [devices, blocks, pool, s, b, explore, seed, "
-          "threads]",
+          "no diversity [devices, blocks, replicas, pool, s, b, explore, "
+          "seed, threads]",
           [](const SolverOptions& o) -> std::unique_ptr<Solver> {
             return std::make_unique<AbsSolver>(bulk_config(o));
           });

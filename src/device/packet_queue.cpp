@@ -36,12 +36,25 @@ std::optional<Packet> PacketQueue::pop() {
 }
 
 std::optional<Packet> PacketQueue::try_pop() {
+  Packet p;
+  return try_pop(p) == PopStatus::kItem ? std::optional<Packet>(std::move(p))
+                                        : std::nullopt;
+}
+
+PacketQueue::PopStatus PacketQueue::try_pop(Packet& out) {
   std::lock_guard lock(mu_);
-  if (items_.empty()) return std::nullopt;
-  Packet p = std::move(items_.front());
+  if (items_.empty()) {
+    return closed_ ? PopStatus::kClosed : PopStatus::kEmpty;
+  }
+  out = std::move(items_.front());
   items_.pop_front();
   cv_push_.notify_one();
-  return p;
+  return PopStatus::kItem;
+}
+
+bool PacketQueue::drained() const {
+  std::lock_guard lock(mu_);
+  return closed_ && items_.empty();
 }
 
 void PacketQueue::close() {

@@ -16,9 +16,16 @@ namespace dabs {
 
 class PacketQueue {
  public:
+  /// Outcome of a non-blocking pop.  A transiently-empty open queue
+  /// (kEmpty — retry later) is distinguishable from a closed-and-drained
+  /// one (kClosed — no packet will ever arrive again).
+  enum class PopStatus { kItem, kEmpty, kClosed };
+
   explicit PacketQueue(std::size_t capacity);
 
   /// Blocks while full; returns false (dropping the packet) once closed.
+  /// A producer already blocked inside push() observes close() and
+  /// returns false without enqueueing.
   bool push(Packet p);
 
   /// Non-blocking push; returns false when full or closed.
@@ -27,8 +34,17 @@ class PacketQueue {
   /// Blocks while empty; returns nullopt once closed *and* drained.
   std::optional<Packet> pop();
 
-  /// Non-blocking pop; nullopt when currently empty.
+  /// Non-blocking pop; nullopt when currently empty — indistinguishable
+  /// from closed-and-drained.  Prefer try_pop(Packet&) in drain loops.
   std::optional<Packet> try_pop();
+
+  /// Non-blocking pop with a three-way status.  kClosed is returned only
+  /// when the queue is closed *and* fully drained, so a consumer loop can
+  /// terminate exactly when no further packet can ever arrive.
+  PopStatus try_pop(Packet& out);
+
+  /// True once closed *and* empty: no packet can ever be popped again.
+  bool drained() const;
 
   /// Wakes all waiters; subsequent pushes fail, pops drain the remainder.
   void close();

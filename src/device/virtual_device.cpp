@@ -1,5 +1,7 @@
 #include "device/virtual_device.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace dabs {
@@ -7,12 +9,25 @@ namespace dabs {
 VirtualDevice::VirtualDevice(const QuboModel& model,
                              const DeviceConfig& config,
                              MersenneSeeder& seeder)
-    : inbox_(config.queue_capacity), outbox_(config.queue_capacity) {
+    // A bulk block can retire `replicas` packets per pass, so the queues
+    // must hold at least that many for the gather to ever fill a pass.
+    : inbox_(std::max<std::size_t>(config.queue_capacity, config.replicas)),
+      outbox_(std::max<std::size_t>(config.queue_capacity, config.replicas)),
+      replicas_(config.replicas) {
   DABS_CHECK(config.blocks > 0, "device needs at least one block");
-  blocks_.reserve(config.blocks);
-  for (std::uint32_t b = 0; b < config.blocks; ++b) {
-    blocks_.push_back(
-        std::make_unique<BatchSearch>(model, config.batch, seeder.next_seed()));
+  DABS_CHECK(config.replicas > 0, "device needs at least one replica");
+  if (config.replicas > 1) {
+    bulk_blocks_.reserve(config.blocks);
+    for (std::uint32_t b = 0; b < config.blocks; ++b) {
+      bulk_blocks_.push_back(std::make_unique<BulkBatchSearch>(
+          model, config.batch, config.replicas, seeder.next_seed()));
+    }
+  } else {
+    blocks_.reserve(config.blocks);
+    for (std::uint32_t b = 0; b < config.blocks; ++b) {
+      blocks_.push_back(std::make_unique<BatchSearch>(model, config.batch,
+                                                      seeder.next_seed()));
+    }
   }
 }
 
@@ -21,8 +36,9 @@ VirtualDevice::~VirtualDevice() { stop(); }
 void VirtualDevice::start() {
   if (started_) return;
   started_ = true;
-  threads_.reserve(blocks_.size());
-  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+  const std::size_t count = block_count();
+  threads_.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
     threads_.emplace_back([this, b] { block_loop(b); });
   }
 }
@@ -43,6 +59,8 @@ void VirtualDevice::stop() {
 }
 
 Packet VirtualDevice::execute(const Packet& p, std::size_t block) {
+  DABS_CHECK(bulk_blocks_.empty(),
+             "execute() requires scalar blocks (replicas == 1)");
   DABS_CHECK(block < blocks_.size(), "block index out of range");
   const BatchResult r = blocks_[block]->run(p.solution, p.algo);
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -53,6 +71,8 @@ Packet VirtualDevice::execute(const Packet& p, std::size_t block) {
 }
 
 bool VirtualDevice::process_next() {
+  DABS_CHECK(bulk_blocks_.empty(),
+             "process_next() requires scalar blocks (replicas == 1)");
   auto p = inbox_.try_pop();
   if (!p) return false;
   const std::size_t block = rr_next_;
@@ -66,10 +86,45 @@ bool VirtualDevice::process_next() {
 }
 
 void VirtualDevice::block_loop(std::size_t block) {
+  if (!bulk_blocks_.empty()) {
+    bulk_block_loop(block);
+    return;
+  }
   for (;;) {
     auto p = inbox_.pop();
     if (!p) return;  // inbox closed and drained
     outbox_.push(execute(*p, block));
+  }
+}
+
+void VirtualDevice::bulk_block_loop(std::size_t block) {
+  BulkBatchSearch& bulk = *bulk_blocks_[block];
+  const std::size_t replicas = bulk.replica_count();
+  std::vector<Packet> sources;
+  std::vector<BitVector> targets;
+  for (;;) {
+    sources.clear();
+    targets.clear();
+    // Block for one packet, then gather whatever else is immediately
+    // available (up to the replica count) into the same bulk pass.
+    auto p = inbox_.pop();
+    if (!p) return;  // inbox closed and drained
+    sources.push_back(std::move(*p));
+    while (sources.size() < replicas) {
+      Packet extra;
+      if (inbox_.try_pop(extra) != PacketQueue::PopStatus::kItem) break;
+      sources.push_back(std::move(extra));
+    }
+    targets.reserve(sources.size());
+    for (const Packet& s : sources) targets.push_back(s.solution);
+    std::vector<BatchResult> results = bulk.run(targets);
+    batches_.fetch_add(results.size(), std::memory_order_relaxed);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      Packet out = sources[i];
+      out.solution = std::move(results[i].best);
+      out.energy = results[i].best_energy;
+      if (!outbox_.push(std::move(out))) return;  // closed mid-shutdown
+    }
   }
 }
 

@@ -11,6 +11,13 @@
 //   - in threaded mode each block is a std::thread consuming the inbox;
 //   - in synchronous mode `process_next()` executes one packet inline on a
 //     round-robin block, giving bit-reproducible runs for tests.
+//
+// With `replicas > 1` each block instead owns a BulkBatchSearch that runs up
+// to `replicas` batch searches per kernel pass (the paper's bulk execution,
+// where one SM interleaves many block-resident searches).  A bulk block
+// gathers as many inbox packets as are immediately available (blocking for
+// the first) and answers each with its own result packet, so the host-side
+// protocol is unchanged.  Bulk blocks exist in threaded mode only.
 #pragma once
 
 #include <atomic>
@@ -24,11 +31,14 @@
 #include "qubo/qubo_model.hpp"
 #include "rng/seeder.hpp"
 #include "search/batch_search.hpp"
+#include "search/bulk_batch_search.hpp"
 
 namespace dabs {
 
 struct DeviceConfig {
   std::uint32_t blocks = 4;        // CUDA-block-equivalents per device
+  std::uint32_t replicas = 1;      // batch searches per block; > 1 runs the
+                                   // bulk replica engine (threaded mode only)
   std::size_t queue_capacity = 8;  // inbox/outbox depth (back-pressure)
   BatchParams batch;               // s, b, tabu tenure
 };
@@ -55,24 +65,32 @@ class VirtualDevice {
 
   /// Synchronous mode: pops one inbox packet (non-blocking) and executes it
   /// on the next round-robin block.  Returns false when the inbox is empty.
+  /// Scalar blocks only (replicas == 1).
   bool process_next();
 
   /// Executes `p` inline on block `block` and returns the result packet.
+  /// Scalar blocks only (replicas == 1).
   Packet execute(const Packet& p, std::size_t block);
 
   std::uint32_t block_count() const noexcept {
-    return static_cast<std::uint32_t>(blocks_.size());
+    return static_cast<std::uint32_t>(blocks_.empty() ? bulk_blocks_.size()
+                                                      : blocks_.size());
   }
+  std::uint32_t replicas_per_block() const noexcept { return replicas_; }
   std::uint64_t batches_executed() const noexcept {
     return batches_.load(std::memory_order_relaxed);
   }
 
  private:
   void block_loop(std::size_t block);
+  void bulk_block_loop(std::size_t block);
 
   PacketQueue inbox_;
   PacketQueue outbox_;
+  std::uint32_t replicas_ = 1;
+  // Exactly one of the two block vectors is populated (replicas == 1 vs > 1).
   std::vector<std::unique_ptr<BatchSearch>> blocks_;
+  std::vector<std::unique_ptr<BulkBatchSearch>> bulk_blocks_;
   std::vector<std::thread> threads_;
   std::size_t rr_next_ = 0;  // synchronous-mode round-robin cursor
   std::atomic<std::uint64_t> batches_{0};

@@ -4,12 +4,17 @@
 
 namespace dabs {
 
-std::size_t cube_weighted_rank(Rng& rng, std::size_t m) {
+std::size_t cube_weighted_rank_from_unit(double r, std::size_t m) {
   DABS_CHECK(m > 0, "cube_weighted_rank requires a non-empty pool");
-  const double r = rng.next_unit();
   auto rank = static_cast<std::size_t>(r * r * r * double(m));
-  // Guard against floating rounding at r -> 1.
+  // Guard against floating rounding at r -> 1: r^3 * m can round up to
+  // exactly m (e.g. r = (2^53 - 1) / 2^53 with large m), which would index
+  // one past the end of the pool.
   return rank < m ? rank : m - 1;
+}
+
+std::size_t cube_weighted_rank(Rng& rng, std::size_t m) {
+  return cube_weighted_rank_from_unit(rng.next_unit(), m);
 }
 
 }  // namespace dabs

@@ -38,4 +38,10 @@ class MersenneSeeder {
 /// probability; rank 0 is chosen with probability m^{-1/3}.
 std::size_t cube_weighted_rank(Rng& rng, std::size_t m);
 
+/// Deterministic core of cube_weighted_rank, exposed so the r -> 1 rounding
+/// guard is directly testable: for any r in [0, 1] (including exactly 1.0,
+/// which next_unit() cannot produce but floating rounding can approach)
+/// the result is clamped to m - 1.  Requires m > 0.
+std::size_t cube_weighted_rank_from_unit(double r, std::size_t m);
+
 }  // namespace dabs

@@ -35,17 +35,31 @@ BatchResult BatchSearch::run(const BitVector& target, MainSearch algo) {
   straight_walk(state_, target);
   SearchAlgorithm& main = *algos_[static_cast<std::size_t>(algo)];
 
+  // Budget discipline: the walk is unconditional (it must reach the
+  // target) and greedy phases always run to a local minimum (they
+  // terminate — every flip strictly improves E — and the batch invariant
+  // is that it ends greedy-polished).  Main-search phases, however, are
+  // clamped to the flips remaining: without the clamp a batch one flip
+  // short of its budget would still spend a full s*n main stride (or, for
+  // TwoNeighbor, ignore the budget outright with its 2n-1 ripple).
+  const auto remaining = [&]() -> std::uint64_t {
+    const std::uint64_t s = spent();
+    return s >= budget ? 0 : budget - s;
+  };
+
   if (algo == MainSearch::kTwoNeighbor) {
     // Repeating the deterministic ripple is pointless (paper §III-B), so the
     // batch is straight -> greedy -> TwoNeighbor -> greedy.
     greedy_descent(state_);
-    main.run(state_, rng_, &tabu_, 0);
+    if (const std::uint64_t left = remaining(); left > 0) {
+      main.run(state_, rng_, &tabu_, left);
+    }
     greedy_descent(state_);
   } else {
     for (;;) {
       greedy_descent(state_);
       if (spent() >= budget) break;
-      main.run(state_, rng_, &tabu_, main_iters);
+      main.run(state_, rng_, &tabu_, std::min(main_iters, remaining()));
     }
   }
   return {state_.best(), state_.best_energy(), spent()};

@@ -1,11 +1,16 @@
 // Batch search (paper §III-B): the unit of work a device block executes for
 // one host packet.
 //
-//   1. Straight-walk the block's persistent solution X to the target D.
+//   1. Straight-walk the block's persistent solution X to the target D
+//      (unconditional — the walk must reach the target even when it alone
+//      exceeds the budget).
 //   2. Repeat { Greedy to a local minimum; if total flips >= b*n stop;
-//               run the selected main search for s*n flips }.
-//      TwoNeighbor is special-cased: it runs exactly once, bracketed by
-//      Greedy phases, regardless of the flip budget.
+//               run the selected main search for min(s*n, remaining)
+//               flips }.  TwoNeighbor is special-cased: it runs exactly
+//      once, bracketed by Greedy phases, its 2n-1 ripple truncated to the
+//      remaining budget.  Main phases never overdraw the budget; only the
+//      walk and the terminal greedy polish can overshoot it, so a batch
+//      always ends at a 1-flip local minimum.
 //   3. Report BEST / E(BEST) accumulated by the Step-1 scans.
 //
 // The SearchState (and CyclicMin window position) persists across batches,

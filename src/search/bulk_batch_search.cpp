@@ -1,0 +1,216 @@
+#include "search/bulk_batch_search.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+namespace {
+
+constexpr std::size_t kChunk = BulkSearchState::kMaxChunk;
+
+}  // namespace
+
+/// Accumulates same-index masked flips and applies them in rank-B chunks.
+struct BulkBatchSearch::ChunkQueue {
+  BulkSearchState& state;
+  const std::size_t blocks;
+  const bool descend;
+  std::vector<VarIndex> idx;
+  std::vector<std::uint64_t> masks;    // [pos][block]
+  std::vector<std::uint64_t> applied;  // scratch for descend_chunk
+  std::uint64_t applied_flips = 0;     // lane-flips actually performed
+
+  ChunkQueue(BulkSearchState& s, bool descend_mode)
+      : state(s), blocks(s.block_count()), descend(descend_mode) {
+    idx.reserve(kChunk);
+    masks.reserve(kChunk * blocks);
+  }
+
+  bool pending(VarIndex k) const {
+    return std::find(idx.begin(), idx.end(), k) != idx.end();
+  }
+
+  /// mask points at `blocks` words for position k.
+  void push(VarIndex k, const std::uint64_t* mask) {
+    if (pending(k)) flush();  // chunk indices must be distinct
+    idx.push_back(k);
+    masks.insert(masks.end(), mask, mask + blocks);
+    if (idx.size() == kChunk) flush();
+  }
+
+  void flush() {
+    if (idx.empty()) return;
+    if (descend) {
+      applied.assign(masks.size(), 0);
+      state.descend_chunk(idx, masks, applied);
+      for (const std::uint64_t m : applied) {
+        applied_flips += static_cast<std::uint64_t>(std::popcount(m));
+      }
+    } else {
+      state.flip_chunk(idx, masks);
+      for (const std::uint64_t m : masks) {
+        applied_flips += static_cast<std::uint64_t>(std::popcount(m));
+      }
+    }
+    idx.clear();
+    masks.clear();
+  }
+};
+
+BulkBatchSearch::BulkBatchSearch(const QuboModel& model,
+                                 const BatchParams& params,
+                                 std::size_t replicas, std::uint64_t seed)
+    : state_(model, replicas),
+      params_(params),
+      rng_(seed),
+      target_words_(state_.block_count() * model.size(), 0),
+      scan_scratch_(replicas) {
+  DABS_CHECK(params.search_flip_factor > 0, "search flip factor must be > 0");
+  DABS_CHECK(params.batch_flip_factor > 0, "batch flip factor must be > 0");
+}
+
+std::vector<BatchResult> BulkBatchSearch::run(
+    std::span<const BitVector> targets) {
+  const std::size_t n = state_.size();
+  const std::size_t replicas = state_.replica_count();
+  const std::size_t active_count = targets.size();
+  DABS_CHECK(active_count >= 1 && active_count <= replicas,
+             "target count must be in [1, replica_count()]");
+  const std::size_t blocks = state_.block_count();
+  const auto budget = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params_.batch_flip_factor * double(n)));
+  const auto kick_len = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params_.search_flip_factor * double(n)));
+
+  // Lane masks of the replicas participating in this batch (lanes 0..T-1).
+  std::vector<std::uint64_t> active(blocks, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * BulkSearchState::kLanesPerBlock;
+    if (active_count <= lo) break;
+    const std::size_t cnt = std::min(active_count - lo,
+                                     BulkSearchState::kLanesPerBlock);
+    active[b] = cnt == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << cnt) - 1;
+  }
+
+  // Bit-slice the targets and anchor each participating replica's BEST.
+  std::vector<std::uint64_t> start_flips(active_count);
+  std::fill(target_words_.begin(), target_words_.end(), 0);
+  for (std::size_t r = 0; r < active_count; ++r) {
+    DABS_CHECK(targets[r].size() == n, "target length mismatch");
+    state_.reset_best(r);
+    start_flips[r] = state_.flip_count(r);
+    const std::uint64_t bit =
+        std::uint64_t{1} << (r % BulkSearchState::kLanesPerBlock);
+    std::uint64_t* tw =
+        target_words_.data() + (r / BulkSearchState::kLanesPerBlock) * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (targets[r].get(k)) tw[k] |= bit;
+    }
+  }
+
+  const auto spent = [&](std::size_t r) {
+    return state_.flip_count(r) - start_flips[r];
+  };
+  // Lanes whose budget is exhausted; refreshed after every chunk flush, so
+  // a replica can overshoot by at most kMaxChunk flips.
+  std::vector<std::uint64_t> done(blocks, 0);
+  const auto refresh_done = [&] {
+    bool all = true;
+    for (std::size_t r = 0; r < active_count; ++r) {
+      if (spent(r) >= budget) {
+        done[r / 64] |= std::uint64_t{1} << (r % 64);
+      } else {
+        all = false;
+      }
+    }
+    return all;
+  };
+
+  std::vector<std::uint64_t> mask(blocks);
+
+  // --- straight walk (unconditional, like the scalar engine) -------------
+  // Index order: flipping position k never changes which later positions
+  // differ, so one pass lands every replica exactly on its target.
+  {
+    ChunkQueue q(state_, /*descend_mode=*/false);
+    for (VarIndex k = 0; k < static_cast<VarIndex>(n); ++k) {
+      std::uint64_t any = 0;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        mask[b] = (state_.solution_word(b, k) ^ target_words_[b * n + k]) &
+                  active[b];
+        any |= mask[b];
+      }
+      if (any != 0) q.push(k, mask.data());
+    }
+    q.flush();
+  }
+  state_.scan(scan_scratch_);  // Step 1: fold best 1-bit neighbors
+
+  // --- greedy sweeps alternating with random kicks -----------------------
+  bool all_done = refresh_done();
+  while (!all_done) {
+    // Greedy: sweep until no replica moves — then every unfinished replica
+    // is at a 1-flip local minimum (the candidate masks may be stale by up
+    // to a chunk, but descend_chunk re-checks the sign at flip time, and a
+    // quiescent full sweep proves every Delta_k was non-negative).
+    for (;;) {
+      ChunkQueue q(state_, /*descend_mode=*/true);
+      std::uint64_t sweep_applied = 0;
+      for (VarIndex k = 0; k < static_cast<VarIndex>(n); ++k) {
+        std::uint64_t any = 0;
+        for (std::size_t b = 0; b < blocks; ++b) {
+          mask[b] = state_.negative_delta_word(b, k) & active[b] & ~done[b];
+          any |= mask[b];
+        }
+        if (any != 0) {
+          const std::uint64_t before = q.applied_flips;
+          q.push(k, mask.data());
+          if (q.applied_flips != before) {
+            sweep_applied += q.applied_flips - before;
+            all_done = refresh_done();
+          }
+        }
+      }
+      const std::uint64_t before = q.applied_flips;
+      q.flush();
+      sweep_applied += q.applied_flips - before;
+      all_done = refresh_done();
+      if (sweep_applied == 0 || all_done) break;
+    }
+    if (all_done) break;
+
+    // Kick: kick_len (~s*n) random positions; every unfinished replica
+    // joins each with probability 1/2 — the final position includes all of
+    // them so each outer round is guaranteed to spend at least one flip.
+    ChunkQueue q(state_, /*descend_mode=*/false);
+    for (std::uint64_t j = 0; j < kick_len; ++j) {
+      const auto i = static_cast<VarIndex>(rng_.next_index(n));
+      const bool force = j + 1 == kick_len;
+      std::uint64_t any = 0;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const std::uint64_t stuck = active[b] & ~done[b];
+        mask[b] = force ? stuck : (rng_() & stuck);
+        any |= mask[b];
+      }
+      if (any != 0) q.push(i, mask.data());
+      all_done = refresh_done();
+      if (all_done) break;
+    }
+    q.flush();
+    state_.scan(scan_scratch_);
+    all_done = refresh_done();
+  }
+
+  std::vector<BatchResult> results;
+  results.reserve(active_count);
+  for (std::size_t r = 0; r < active_count; ++r) {
+    results.push_back({state_.best(r), state_.best_energy(r), spent(r)});
+  }
+  return results;
+}
+
+}  // namespace dabs

@@ -3,16 +3,23 @@
 namespace dabs {
 
 void TwoNeighborSearch::run(SearchState& state, Rng& /*rng*/,
-                            TabuList* /*tabu*/, std::uint64_t /*iterations*/) {
+                            TabuList* /*tabu*/, std::uint64_t iterations) {
   const auto n = static_cast<VarIndex>(state.size());
   if (n == 0) return;
   // Flip sequence 0, then (k, k-1) for k = 1 .. n-1: 2n-1 flips total;
-  // every Step 3 is fused with the following Step 1.
+  // every Step 3 is fused with the following Step 1.  `iterations` caps the
+  // flip count (0 = uncapped full ripple) so a batch budget can truncate
+  // the sweep.
+  const std::uint64_t cap = iterations == 0 ? ~std::uint64_t{0} : iterations;
+  std::uint64_t flips = 0;
   state.scan();
   state.flip_and_scan(0);
+  if (++flips >= cap) return;
   for (VarIndex k = 1; k < n; ++k) {
     state.flip_and_scan(k);
+    if (++flips >= cap) return;
     state.flip_and_scan(k - 1);
+    if (++flips >= cap) return;
   }
 }
 

@@ -14,7 +14,8 @@ namespace dabs {
 
 class TwoNeighborSearch final : public SearchAlgorithm {
  public:
-  /// Ignores `iterations`; always performs the fixed 2n-1 flips.
+  /// Performs the fixed 2n-1 flip ripple, truncated to at most
+  /// `iterations` flips (0 = uncapped) so a batch budget can clamp it.
   void run(SearchState& state, Rng& rng, TabuList* tabu,
            std::uint64_t iterations) override;
 };

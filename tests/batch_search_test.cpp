@@ -133,5 +133,54 @@ TEST(BatchSearch, SmallBatchFactorStillRunsOneGreedyPhase) {
   EXPECT_TRUE(bs.state().is_local_minimum());
 }
 
+/// All-positive weights: the zero vector is the global (and only local)
+/// minimum, so greedy phases are cheap and flips are attributable to the
+/// main phase exactly.
+QuboModel all_positive_model(std::size_t n) {
+  QuboBuilder b(n);
+  for (VarIndex i = 0; i < n; ++i) b.add_linear(i, 5);
+  for (VarIndex i = 0; i + 1 < static_cast<VarIndex>(n); ++i) {
+    b.add_quadratic(i, i + 1, 3);
+  }
+  return b.build();
+}
+
+TEST(BatchSearch, MainPhaseIsClampedToRemainingBudget) {
+  // Regression: with budget = 1 flip and target = start, the main phase
+  // must be clamped to the single remaining flip instead of running its
+  // full s*n stride.  Each main search flips once per iteration, so the
+  // batch spends exactly: 0 (walk) + 0 (greedy at the minimum) + 1 (main,
+  // clamped) + 1 (terminal greedy undoing it) = 2 flips.  Before the
+  // clamp, kMaxMin & co. spent s*n = 5 main flips here, and kTwoNeighbor
+  // ignored the budget outright with its 2n-1 ripple.
+  const QuboModel m = all_positive_model(25);
+  const BitVector zero(25);
+  for (const MainSearch algo : kAllMainSearches) {
+    BatchParams p = quick_params();  // s = 0.2 -> main stride 5
+    p.batch_flip_factor = 1e-9;      // budget = 1 flip
+    BatchSearch bs(m, p, 10);
+    const BatchResult r = bs.run(zero, algo);
+    EXPECT_EQ(r.flips, 2u) << "algo " << static_cast<int>(algo);
+    EXPECT_TRUE(bs.state().is_local_minimum())
+        << "algo " << static_cast<int>(algo);
+    EXPECT_EQ(r.best_energy, 0) << "algo " << static_cast<int>(algo);
+  }
+}
+
+TEST(BatchSearch, TwoNeighborRippleIsTruncatedByTheBudget) {
+  // With a budget below 2n-1 the ripple must stop early instead of
+  // spending its full deterministic sweep.
+  const QuboModel m = all_positive_model(40);
+  const BitVector zero(40);
+  BatchParams p = quick_params();
+  p.batch_flip_factor = 0.25;  // budget = 10 flips << 2n-1 = 79
+  BatchSearch bs(m, p, 11);
+  const BatchResult r = bs.run(zero, MainSearch::kTwoNeighbor);
+  // walk 0 + greedy 0 + ripple exactly 10 + terminal greedy (<= n).
+  EXPECT_GE(r.flips, 10u);
+  EXPECT_LT(r.flips, 79u);
+  EXPECT_TRUE(bs.state().is_local_minimum());
+}
+
 }  // namespace
 }  // namespace dabs

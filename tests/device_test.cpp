@@ -161,6 +161,47 @@ TEST(VirtualDevice, ThreadedModeProcessesAllPackets) {
   EXPECT_EQ(dev.batches_executed(), static_cast<std::uint64_t>(kPackets));
 }
 
+TEST(VirtualDevice, BulkBlocksAnswerEveryPacket) {
+  // replicas > 1: each block gathers several inbox packets per pass and
+  // must still answer every single one with a consistent result packet.
+  const QuboModel m = random_model(40, 0.4, 9, 3010);
+  MersenneSeeder seeder(31);
+  DeviceConfig cfg;
+  cfg.blocks = 2;
+  cfg.replicas = 8;
+  cfg.queue_capacity = 4;  // bumped to >= replicas internally
+  VirtualDevice dev(m, cfg, seeder);
+  EXPECT_EQ(dev.replicas_per_block(), 8u);
+  EXPECT_GE(dev.inbox().capacity(), 8u);
+  dev.start();
+  const int kPackets = 40;
+  std::thread producer([&dev] {
+    for (int i = 0; i < kPackets; ++i) {
+      dev.inbox().push(make_test_packet(40, 200 + i));
+    }
+  });
+  for (int i = 0; i < kPackets; ++i) {
+    const auto p = dev.outbox().pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(m.energy(p->solution), p->energy);
+    EXPECT_EQ(p->algo, MainSearch::kMaxMin);  // metadata preserved
+  }
+  producer.join();
+  dev.stop();
+  EXPECT_EQ(dev.batches_executed(), static_cast<std::uint64_t>(kPackets));
+}
+
+TEST(VirtualDevice, BulkBlocksRejectSynchronousEntryPoints) {
+  const QuboModel m = random_model(20, 0.5, 9, 3011);
+  MersenneSeeder seeder(32);
+  DeviceConfig cfg;
+  cfg.replicas = 4;
+  VirtualDevice dev(m, cfg, seeder);
+  EXPECT_THROW((void)dev.process_next(), std::invalid_argument);
+  EXPECT_THROW((void)dev.execute(make_test_packet(20, 1), 0),
+               std::invalid_argument);
+}
+
 TEST(VirtualDevice, StopWithoutStartIsSafe) {
   const QuboModel m = random_model(10, 0.5, 9, 3003);
   MersenneSeeder seeder(4);

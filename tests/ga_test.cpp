@@ -111,6 +111,39 @@ TEST(SolutionPool, CubeSelectionPrefersBest) {
   EXPECT_GT(double(best_picks) / trials, 0.15);
 }
 
+TEST(SolutionPool, SelectionSurvivesNearMaxDraws) {
+  // Audit regression for the r -> 1 rounding guard in the cube rule: brute
+  // force seeds whose very first unit draw is within 1e-6 of 1.0, then
+  // check both selectors on the smallest pools.  select_cube_weighted must
+  // clamp to the last (worst) rank, never one past the end;
+  // select_uniform's next_index is a Lemire reduction that can never reach
+  // its bound, so it is safe by construction — exercised here for parity.
+  std::vector<std::uint64_t> hot_seeds;
+  for (std::uint64_t s = 1; hot_seeds.size() < 5 && s < 50'000'000; ++s) {
+    Rng probe(s);
+    if (probe.next_unit() > 1.0 - 1e-6) hot_seeds.push_back(s);
+  }
+  ASSERT_GE(hot_seeds.size(), 1u);
+  for (const std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    SolutionPool pool(m, 8);
+    for (std::size_t i = 0; i < m; ++i) {
+      pool.insert(entry_of(vec_with_value(8, i + 1),
+                           static_cast<Energy>(10 * (i + 1))));
+    }
+    const Energy worst = pool.worst_energy();
+    for (const std::uint64_t seed : hot_seeds) {
+      Rng rng(seed);
+      // r^3 * m floors to m - 1 for r this close to 1: the worst entry.
+      EXPECT_EQ(pool.select_cube_weighted(rng).energy, worst)
+          << "m " << m << " seed " << seed;
+      Rng rng2(seed);
+      const PoolEntry u = pool.select_uniform(rng2);
+      EXPECT_GE(u.energy, 10);
+      EXPECT_LE(u.energy, static_cast<Energy>(10 * m));
+    }
+  }
+}
+
 TEST(SolutionPool, RestartRefillsWithInfinity) {
   SolutionPool pool(4, 16);
   pool.insert(entry_of(vec_with_value(16, 1), -50));

@@ -1,0 +1,135 @@
+// PacketQueue close-semantics tests: a producer blocked in push() must
+// observe close() and fail without enqueueing, and a consumer must be able
+// to distinguish a transiently-empty open queue from a closed-and-drained
+// one via the three-way try_pop.  The multi-threaded stress case is the
+// one the sanitizer CI jobs (TSan in particular) lean on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "device/packet.hpp"
+#include "device/packet_queue.hpp"
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+namespace {
+
+Packet make_packet(std::uint32_t tag) {
+  Packet p;
+  p.solution = BitVector(8);
+  p.energy = static_cast<Energy>(tag);
+  return p;
+}
+
+TEST(PacketQueue, BlockedPushObservesClose) {
+  PacketQueue q(1);
+  ASSERT_TRUE(q.push(make_packet(0)));  // fills the queue
+
+  std::atomic<int> result{-1};
+  std::thread producer([&] {
+    // Blocks: the queue is full and nobody pops.
+    result.store(q.push(make_packet(1)) ? 1 : 0);
+  });
+  // Let the producer reach the wait; then close — it must wake and fail.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(result.load(), -1);  // still blocked
+  q.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // push returned false, packet dropped
+  EXPECT_EQ(q.size(), 1u);      // the blocked packet was never enqueued
+}
+
+TEST(PacketQueue, TryPopDistinguishesEmptyFromDrained) {
+  PacketQueue q(4);
+  Packet out;
+  // Open and empty: transient — a packet may still arrive.
+  EXPECT_EQ(q.try_pop(out), PacketQueue::PopStatus::kEmpty);
+  EXPECT_FALSE(q.drained());
+
+  for (std::uint32_t i = 0; i < 4; ++i) ASSERT_TRUE(q.push(make_packet(i)));
+  q.close();
+
+  // Closed but not yet drained: the remainder must still come out.
+  EXPECT_FALSE(q.drained());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.try_pop(out), PacketQueue::PopStatus::kItem);
+    EXPECT_EQ(out.energy, static_cast<Energy>(i));
+  }
+  // Closed and drained: terminal — no packet can ever arrive again.
+  EXPECT_EQ(q.try_pop(out), PacketQueue::PopStatus::kClosed);
+  EXPECT_TRUE(q.drained());
+  // And it stays terminal.
+  EXPECT_EQ(q.try_pop(out), PacketQueue::PopStatus::kClosed);
+}
+
+TEST(PacketQueue, OptionalTryPopStillDrainsAfterClose) {
+  PacketQueue q(2);
+  ASSERT_TRUE(q.push(make_packet(7)));
+  q.close();
+  EXPECT_FALSE(q.push(make_packet(8)));  // closed: push fails
+  const auto p = q.try_pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->energy, 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(PacketQueue, MultiThreadedCloseRace) {
+  // Producers blocked on a full queue + consumers draining via the
+  // three-way try_pop + an asynchronous close: every pushed packet is
+  // either consumed or cleanly refused, and every consumer terminates on
+  // kClosed (no lost wakeups, no use-after-drain).
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr std::uint32_t kPerProducer = 200;
+  PacketQueue q(2);  // tiny: forces producers to block
+  std::atomic<std::uint64_t> pushed{0}, refused{0}, popped{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        if (q.push(make_packet(i))) {
+          pushed.fetch_add(1);
+        } else {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kConsumers; ++t) {
+    threads.emplace_back([&] {
+      Packet out;
+      for (;;) {
+        switch (q.try_pop(out)) {
+          case PacketQueue::PopStatus::kItem:
+            popped.fetch_add(1);
+            break;
+          case PacketQueue::PopStatus::kEmpty:
+            std::this_thread::yield();
+            break;
+          case PacketQueue::PopStatus::kClosed:
+            return;
+        }
+      }
+    });
+  }
+  // Let the pipeline run, then slam it shut mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : threads) t.join();
+  // Whatever close() left in the queue is still poppable; account for it.
+  Packet out;
+  while (q.try_pop(out) == PacketQueue::PopStatus::kItem) popped.fetch_add(1);
+  EXPECT_EQ(pushed.load(), popped.load());
+  EXPECT_EQ(pushed.load() + refused.load(),
+            std::uint64_t{kProducers} * kPerProducer);
+  EXPECT_TRUE(q.drained());
+}
+
+}  // namespace
+}  // namespace dabs

@@ -138,5 +138,23 @@ TEST(CubeRank, RejectsEmptyPool) {
   EXPECT_THROW((void)cube_weighted_rank(rng, 0), std::invalid_argument);
 }
 
+TEST(CubeRank, MaxDrawIsClampedIntoRange) {
+  // The largest value next_unit() can produce is (2^53 - 1) / 2^53; r^3 * m
+  // can round up to exactly m in floating point, which would index one past
+  // the end of the pool.  The clamp must pin it (and even an exact 1.0,
+  // which only rounding can manufacture) to m - 1.
+  const double max_unit =
+      static_cast<double>((std::uint64_t{1} << 53) - 1) /
+      static_cast<double>(std::uint64_t{1} << 53);
+  for (const std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{100}, std::size_t{1} << 40}) {
+    EXPECT_EQ(cube_weighted_rank_from_unit(max_unit, m), m - 1) << m;
+    EXPECT_EQ(cube_weighted_rank_from_unit(1.0, m), m - 1) << m;
+  }
+  // Sanity at the other end and in the middle.
+  EXPECT_EQ(cube_weighted_rank_from_unit(0.0, 100), 0u);
+  EXPECT_EQ(cube_weighted_rank_from_unit(0.5, 100), 12u);  // 0.125 * 100
+}
+
 }  // namespace
 }  // namespace dabs

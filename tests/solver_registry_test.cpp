@@ -104,6 +104,27 @@ TEST(SolverRegistry, OptionsReachTheSolver) {
   EXPECT_THROW((void)capped->solve(req), std::invalid_argument);
 }
 
+TEST(SolverRegistry, ReplicasOptionRunsTheBulkEngine) {
+  // replicas=R flows through to the bulk device path (implying threaded
+  // mode) and still produces a consistent bounded run.
+  const QuboModel m = random_model(60, 0.5, 9, 6005);
+  const std::unique_ptr<Solver> solver = SolverRegistry::global().create(
+      "dabs", {{"replicas", "8"}, {"devices", "1"}, {"blocks", "2"},
+               {"seed", "9"}});
+  SolveRequest req;
+  req.model = &m;
+  req.stop.max_batches = 200;
+  req.stop.time_limit_seconds = 30.0;
+  const SolveReport r = solver->solve(req);
+  EXPECT_EQ(m.energy(r.best_solution), r.best_energy);
+  EXPECT_GT(r.batches, 0u);
+  // replicas > 1 with threads explicitly off must be rejected.
+  EXPECT_THROW((void)SolverRegistry::global()
+                   .create("dabs", {{"replicas", "8"}, {"threads", "false"}})
+                   ->solve(req),
+               std::invalid_argument);
+}
+
 TEST(SolverRegistry, TargetStopsBaselinesAndRecordsTts) {
   const QuboModel m = random_model(14, 0.6, 9, 6002);
   const Energy truth = ExhaustiveSolver().solve(m).best_energy;
