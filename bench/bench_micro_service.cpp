@@ -35,9 +35,10 @@ QuboModel bench_model(std::size_t n, std::uint64_t seed) {
 /// benchmark argument.  This is the number the JSONL front end scales with.
 void BM_ServiceThroughput(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
-  service::SolverService svc(
-      {threads, /*max_events_per_job=*/16,
-       service::ModelCache::kDefaultMaxBytes});
+  service::SolverService::Config config;
+  config.threads = threads;
+  config.max_events_per_job = 16;
+  service::SolverService svc(config);
   const std::shared_ptr<const QuboModel> model =
       svc.cache().intern(bench_model(64, 42));
 

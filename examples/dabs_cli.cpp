@@ -20,8 +20,16 @@
 //
 //   $ ./dabs_cli batch jobs.jsonl --jobs 4 > reports.jsonl
 //
+// Batch runs are fault tolerant: --journal arms a write-ahead job journal
+// (add --resume to skip jobs a previous run already finished), retryable
+// failures back off and retry (--attempts), --queue-limit sheds load, and
+// SIGINT/SIGTERM cancel outstanding jobs, flush the journal plus every
+// report already earned, print the summary, and exit 130.
+//
 // Exit status: 0 on success, 1 when a batch had failing jobs or malformed
-// lines, 2 on usage errors.
+// lines, 2 on usage errors, 130 when a batch was interrupted by a signal.
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 
@@ -43,7 +51,7 @@ void usage(const std::string& prog) {
       << "usage: " << prog << " [options] <model-file>\n"
       << "       " << prog << " --problem <name[:path]> [options]\n"
       << "       " << prog << " batch <jobs.jsonl> [--jobs <n>] "
-         "[--cache-mb <n>]\n"
+         "[--journal <path> [--resume]]\n"
       << "  --list-solvers              print the solver registry and exit\n"
       << "  --list-problems             print the problem registry and exit\n"
       << "  --problem <name[:path]>     solve a registered problem instead "
@@ -85,7 +93,18 @@ void usage(const std::string& prog) {
       << "  --cache-mb <n>              model cache budget in MiB "
          "(default 256)\n"
       << "  --time-limit <sec>          default per-job budget when a line "
-         "sets no stop\n";
+         "sets no stop\n"
+      << "  --journal <path>            write-ahead job journal (fsync'd "
+         "JSONL)\n"
+      << "  --resume                    skip jobs the journal already shows "
+         "done/failed\n"
+      << "  --attempts <n>              retry budget for retryable failures "
+         "(default 3)\n"
+      << "  --queue-limit <n>           shed submits past this queue depth "
+         "(default: unbounded)\n"
+      << "(SIGINT/SIGTERM cancel outstanding jobs, flush journal + earned "
+         "reports,\n"
+      << " print the summary, and exit 130)\n";
 }
 
 void list_solvers() {
@@ -118,6 +137,14 @@ class StderrProgress : public dabs::ProgressObserver {
   }
 };
 
+/// Signal-to-batch bridge: the handler only flips the flag (the one thing
+/// that is async-signal-safe here); run_batch polls it and winds down.
+std::atomic<bool> g_batch_interrupted{false};
+
+extern "C" void on_batch_signal(int) {
+  g_batch_interrupted.store(true, std::memory_order_relaxed);
+}
+
 /// `dabs_cli batch <jobs.jsonl>`: stream the JSONL job file through the
 /// batch service.  "-" reads jobs from stdin.
 int run_batch_command(const dabs::ArgParser& args) {
@@ -133,13 +160,35 @@ int run_batch_command(const dabs::ArgParser& args) {
                  "be >= 0\n";
     return 2;
   }
+  const std::int64_t attempts = args.get_int("attempts", 3);
+  const std::int64_t queue_limit = args.get_int("queue-limit", 0);
+  if (attempts < 1 || attempts > 100 || queue_limit < 0) {
+    std::cerr << "--attempts must be in [1, 100]; --queue-limit must be "
+                 ">= 0\n";
+    return 2;
+  }
   dabs::service::BatchOptions opts;
   opts.threads = static_cast<std::size_t>(jobs);
   opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
   opts.default_time_limit = time_limit;
+  opts.journal_path = args.get("journal").value_or("");
+  opts.resume = args.get_bool("resume");
+  opts.max_attempts = static_cast<std::uint32_t>(attempts);
+  opts.max_queue_depth = static_cast<std::size_t>(queue_limit);
+  if (opts.resume && opts.journal_path.empty()) {
+    std::cerr << "--resume requires --journal <path>\n";
+    return 2;
+  }
   for (const std::string& name : args.unused()) {
     std::cerr << "warning: unknown option --" << name << "\n";
   }
+
+  // ^C / SIGTERM wind the batch down instead of killing it mid-write:
+  // intake stops, outstanding jobs cancel, the journal and every earned
+  // report flush, the summary prints, and the exit code is 130.
+  opts.interrupt = &g_batch_interrupted;
+  std::signal(SIGINT, on_batch_signal);
+  std::signal(SIGTERM, on_batch_signal);
 
   const std::string& path = args.positional()[1];
   if (path == "-") {

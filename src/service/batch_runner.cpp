@@ -1,17 +1,25 @@
 #include "service/batch_runner.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <istream>
 #include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "io/json_reader.hpp"
 #include "io/json_writer.hpp"
 #include "problems/problem.hpp"
+#include "service/job_journal.hpp"
+#include "util/failpoint.hpp"
 
 namespace dabs::service {
 
@@ -108,6 +116,18 @@ BatchJob parse_batch_job(const std::string& json_line) {
           require_nonnegative("max_batches", value.as_int()));
     } else if (key == "target") {
       job.spec.stop.target_energy = value.as_int();
+    } else if (key == "deadline") {
+      job.spec.deadline_seconds = value.as_double();
+      if (job.spec.deadline_seconds <= 0) {
+        throw std::invalid_argument("'deadline' must be positive");
+      }
+    } else if (key == "attempts") {
+      const std::int64_t a = value.as_int();
+      if (a < 1 || a > 100) {
+        throw std::invalid_argument("'attempts' must be in [1, 100]");
+      }
+      job.spec.max_attempts = static_cast<std::uint32_t>(a);
+      job.explicit_attempts = true;
     } else if (key == "seed") {
       job.spec.seed = static_cast<std::uint64_t>(
           require_nonnegative("seed", value.as_int()));
@@ -151,6 +171,50 @@ BatchJob parse_batch_job(const std::string& json_line) {
   return job;
 }
 
+std::string job_fingerprint(const BatchJob& job) {
+  // FNV-1a over every identity field, a 0x1f unit separator after each so
+  // field boundaries cannot alias ("ab"+"c" vs "a"+"bc").  Map-backed
+  // fields iterate in key order, so the digest is independent of input
+  // key order.  Computed on the *parsed* job, before batch-wide defaults
+  // (time limit, attempts) are folded in — the same line fingerprints the
+  // same across runs with different --attempts/--jobs settings, which is
+  // what makes --resume match.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& field) {
+    for (const unsigned char c : field) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ull;
+  };
+  if (job.problem.empty()) {
+    mix("model:" + job.format + ":" + job.model_path);
+  } else {
+    mix("problem:" + job.problem);
+  }
+  for (const auto& [key, value] : job.params.values()) mix(key + "=" + value);
+  mix(job.spec.solver);
+  for (const auto& [key, value] : job.spec.options.values()) {
+    mix(key + "=" + value);
+  }
+  mix(std::to_string(job.spec.stop.time_limit_seconds));
+  mix(std::to_string(job.spec.stop.max_batches));
+  mix(job.spec.stop.target_energy
+          ? std::to_string(*job.spec.stop.target_energy)
+          : std::string("-"));
+  mix(job.spec.seed ? std::to_string(*job.spec.seed) : std::string("-"));
+  mix(std::to_string(job.spec.priority));
+  mix(job.spec.tag);
+  mix(std::to_string(job.spec.deadline_seconds));
+  mix(job.explicit_attempts ? std::to_string(job.spec.max_attempts)
+                            : std::string("-"));
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 void apply_time_governed_budgets(const std::string& solver,
                                  const StopCondition& stop,
                                  SolverOptions& options) {
@@ -170,8 +234,72 @@ void apply_time_governed_budgets(const std::string& solver,
 
 int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
               const BatchOptions& options) {
-  SolverService service({options.threads, options.max_events_per_job,
-                         options.cache_bytes});
+  const auto interrupted = [&options] {
+    return options.interrupt != nullptr &&
+           options.interrupt->load(std::memory_order_relaxed);
+  };
+
+  // The journal outlives the service: the on_started hook below runs on
+  // worker threads, which the service dtor joins before `journal` dies.
+  std::unique_ptr<JobJournal> journal;
+  JobJournal::Replay replay;
+  std::size_t journal_errors = 0;
+  std::mutex journal_mu;  // guards journal_errors + the err stream below
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      replay = JobJournal::replay(options.journal_path);
+      for (const std::string& warning : replay.warnings) {
+        err << "batch: " << warning << "\n";
+      }
+      if (replay.skipped > replay.warnings.size()) {
+        err << "batch: ... and " << replay.skipped - replay.warnings.size()
+            << " more unreadable journal lines\n";
+      }
+    }
+    try {
+      journal = std::make_unique<JobJournal>(options.journal_path);
+    } catch (const std::exception& e) {
+      // No journal, no durability — but the batch itself can still run;
+      // the operator sees the warning and the summary's error count.
+      err << "batch: " << e.what() << " (continuing without journal)\n";
+      ++journal_errors;
+    }
+  } else if (options.resume) {
+    err << "batch: --resume requires a journal path\n";
+    return 1;
+  }
+  // Journal appends must never kill the batch: log once per incident,
+  // count, keep solving.  Thread-safe — the started hook calls this from
+  // worker threads while the driving thread journals submits/outcomes.
+  const auto journal_append = [&](const JournalRecord& record) {
+    if (!journal) return;
+    try {
+      journal->append(record);
+    } catch (const std::exception& e) {
+      std::lock_guard lock(journal_mu);
+      if (journal_errors == 0) {
+        err << "batch: journal append failed: " << e.what()
+            << " (continuing without durability)\n";
+      }
+      ++journal_errors;
+    }
+  };
+
+  SolverService::Config config;
+  config.threads = options.threads;
+  config.max_events_per_job = options.max_events_per_job;
+  config.cache_bytes = options.cache_bytes;
+  config.max_queue_depth = options.max_queue_depth;
+  config.on_started = [&journal_append](JobId, const JobSpec& spec) {
+    const auto it = spec.extras.find("fingerprint");
+    if (it == spec.extras.end()) return;
+    JournalRecord record;
+    record.event = JournalEvent::kStarted;
+    record.fingerprint = it->second;
+    record.tag = spec.tag;
+    journal_append(record);
+  };
+  SolverService service(std::move(config));
 
   /// In-flight bookkeeping, pruned on emit.  Problem-keyed jobs keep their
   /// Problem (decode/verify happens when the job finishes) and the cached
@@ -181,6 +309,7 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     std::shared_ptr<const Problem> problem;
     std::shared_ptr<const QuboModel> model;
     std::string spec_key;  // problems_by_spec entry to prune on emit
+    std::string fingerprint;
   };
   std::map<JobId, PendingJob> in_flight;
   // Spec-level problem dedupe: duplicated "problem"+"params" lines share
@@ -188,29 +317,42 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
   // a spec whose jobs all finished frees its instance data — only the
   // LRU-bounded ModelCache retains big state across the whole batch.
   std::map<std::string, std::weak_ptr<const Problem>> problems_by_spec;
+  // Duplicate-line disambiguation: the N-th parse of an identical job
+  // definition gets fingerprint "<base>#N", counted in input order —
+  // stable across runs of the same file, which --resume relies on.
+  std::map<std::string, std::uint64_t> fingerprint_occurrences;
   std::size_t line_no = 0;
   std::size_t submitted = 0;
   std::size_t invalid = 0;
   std::size_t load_failed = 0;
+  std::size_t resumed_skipped = 0;
+  std::size_t rejected = 0;
+  std::uint64_t retries_attempted = 0;
+  std::uint64_t retries_recovered = 0;
   // Every problem line still yields an output line so callers can join
   // inputs to outcomes; the batch keeps going either way.  "invalid"
   // means fix the input (schema violation, unknown solver/option);
   // "failed" means the environment broke (model unreadable) — retryable.
   const auto emit_problem = [&out, &line_no](const char* status,
                                              const std::string& tag,
-                                             const char* what) {
+                                             const std::string& what,
+                                             const std::string& fingerprint =
+                                                 {},
+                                             std::uint32_t attempts = 0) {
     io::JsonWriter json(out);
     json.begin_object()
         .value("line", static_cast<std::uint64_t>(line_no))
         .value("status", status);
     if (!tag.empty()) json.value("tag", tag);
+    if (!fingerprint.empty()) json.value("fingerprint", fingerprint);
+    if (attempts != 0) json.value("attempts", attempts);
     json.value("error", what).end_object();
     out << "\n";
     out.flush();
   };
 
-  // Writes one report line and drops the job's record so an arbitrarily
-  // long batch holds only in-flight jobs, not every finished one.
+  // Writes one report line, journals the terminal event, and drops the
+  // job's record so an arbitrarily long batch holds only in-flight jobs.
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   const auto emit_report = [&](JobId id) {
@@ -218,6 +360,20 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     JobSnapshot snap = service.snapshot(id);
     if (snap.state == JobState::kFailed) ++failed;
     if (snap.state == JobState::kCancelled) ++cancelled;
+    if (snap.state == JobState::kRejected) ++rejected;
+    std::uint32_t attempts = 0;
+    {
+      const auto it = snap.report.extras.find("attempts");
+      if (it != snap.report.extras.end()) {
+        attempts =
+            static_cast<std::uint32_t>(std::strtoul(it->second.c_str(),
+                                                    nullptr, 10));
+      }
+    }
+    if (attempts > 1) {
+      retries_attempted += attempts - 1;
+      if (snap.state == JobState::kDone) ++retries_recovered;
+    }
     // Problem-keyed jobs: decode the solved bits into domain terms and
     // verify them against the cached model (cancelled-while-queued jobs
     // carry an empty solution — nothing to decode).  A deferred loader
@@ -245,14 +401,45 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
         .value("line", static_cast<std::uint64_t>(pending.line))
         .value("status", to_string(snap.state));
     if (!snap.tag.empty()) json.value("tag", snap.tag);
-    if (snap.state == JobState::kFailed) {
+    if (!pending.fingerprint.empty()) {
+      json.value("fingerprint", pending.fingerprint);
+    }
+    if (snap.state == JobState::kFailed ||
+        snap.state == JobState::kRejected) {
       json.value("error", snap.error);
+      if (attempts != 0) json.value("attempts", attempts);
     } else {
       snap.report.write_json(json, "report");
     }
     json.end_object();
     out << "\n";
     out.flush();
+    JournalRecord record;
+    record.fingerprint = pending.fingerprint;
+    record.line = pending.line;
+    record.tag = snap.tag;
+    record.attempt = attempts;
+    switch (snap.state) {
+      case JobState::kDone:
+        record.event = JournalEvent::kDone;
+        break;
+      case JobState::kFailed:
+        record.event = JournalEvent::kFailed;
+        record.detail = snap.error;
+        break;
+      case JobState::kRejected:
+        record.event = JournalEvent::kRejected;
+        record.detail = snap.error;
+        break;
+      default:
+        record.event = JournalEvent::kCancelled;
+        record.detail =
+            snap.report.extras.count("deadline_exceeded") != 0
+                ? "deadline"
+                : "cancelled";
+        break;
+    }
+    if (!record.fingerprint.empty()) journal_append(record);
     service.release(id);
     const std::string spec_key = pending.spec_key;
     in_flight.erase(id);  // invalidates `pending`
@@ -266,9 +453,14 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     }
   };
 
+  bool was_interrupted = false;
   std::string line;
   while (std::getline(jobs_in, line)) {
     ++line_no;
+    if (interrupted()) {
+      was_interrupted = true;
+      break;
+    }
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     BatchJob job;
@@ -279,6 +471,42 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       emit_problem("invalid", "", e.what());
       continue;
     }
+    // Fingerprint the parsed definition and disambiguate duplicates by
+    // input-order occurrence — both deterministic for a fixed jobs file,
+    // so a resumed run assigns every line the fingerprint it had before
+    // the crash.
+    std::string fingerprint = job_fingerprint(job);
+    const std::uint64_t occurrence = ++fingerprint_occurrences[fingerprint];
+    if (occurrence > 1) {
+      fingerprint += "#" + std::to_string(occurrence);
+    }
+    if (options.resume && replay.terminal(fingerprint)) {
+      ++resumed_skipped;
+      continue;
+    }
+    // Write-ahead: the submit record is durable before any work happens,
+    // so a crash anywhere after this point leaves a journal that names
+    // the job (its absence of a terminal record re-enqueues it).
+    {
+      JournalRecord record;
+      record.event = JournalEvent::kSubmitted;
+      record.fingerprint = fingerprint;
+      record.line = line_no;
+      record.tag = job.spec.tag;
+      journal_append(record);
+    }
+    const auto journal_terminal = [&](JournalEvent event,
+                                      const std::string& detail,
+                                      std::uint32_t attempt) {
+      JournalRecord record;
+      record.event = event;
+      record.fingerprint = fingerprint;
+      record.line = line_no;
+      record.tag = job.spec.tag;
+      record.attempt = attempt;
+      record.detail = detail;
+      journal_append(record);
+    };
     // Problem jobs resolve their registry spec first; a bad spec (unknown
     // name, typo'd param) is the caller's input to fix.
     std::shared_ptr<const Problem> problem;
@@ -296,7 +524,9 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
               ProblemRegistry::global().create(job.problem, job.params);
         } catch (const std::exception& e) {
           ++invalid;
-          emit_problem("invalid", job.spec.tag, e.what());
+          journal_terminal(JournalEvent::kFailed,
+                           std::string("invalid: ") + e.what(), 0);
+          emit_problem("invalid", job.spec.tag, e.what(), fingerprint);
           continue;
         }
         problems_by_spec[spec_key] = problem;
@@ -305,21 +535,64 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     } else {
       cache_key = job.format + "#" + job.model_path;
     }
+    // Model load with retry: unreadable files (and injected load faults)
+    // are the transient-environment failure mode the retry policy exists
+    // for.  Schema problems (unknown format) stay invalid — no retry.
+    const std::uint32_t attempts_allowed =
+        job.explicit_attempts ? job.spec.max_attempts : options.max_attempts;
     bool cache_hit = false;
     std::shared_ptr<const QuboModel> model;
-    try {
-      model = service.cache().get_or_load(
-          cache_key,
-          [&job, &problem] {
-            return problem ? problem->encode()
-                           : load_model_file(job.format, job.model_path);
-          },
-          &cache_hit);
-    } catch (const std::exception& e) {
+    std::uint32_t load_attempt = 0;
+    std::string load_error;
+    while (!model) {
+      ++load_attempt;
+      bool retryable = false;
+      try {
+        model = service.cache().get_or_load(
+            cache_key,
+            [&job, &problem] {
+              fail::point("batch.model_load");
+              return problem ? problem->encode()
+                             : load_model_file(job.format, job.model_path);
+            },
+            &cache_hit);
+        break;
+      } catch (const std::bad_alloc&) {
+        load_error = "std::bad_alloc";
+        retryable = true;
+      } catch (const std::invalid_argument& e) {
+        load_error = e.what();
+      } catch (const std::exception& e) {
+        load_error = e.what();
+        // File IO can blip (NFS, transient unlink/replace); generator
+        // (encode) failures only retry when explicitly marked.
+        retryable = fail::is_retryable_message(load_error) ||
+                    !job.model_path.empty();
+      }
+      if (!retryable || load_attempt >= attempts_allowed || interrupted()) {
+        break;
+      }
+      ++retries_attempted;
+      const double backoff_seconds = retry_backoff(
+          options.retry_backoff_seconds, options.retry_backoff_max_seconds,
+          load_attempt, std::hash<std::string>{}(fingerprint));
+      // Sleep in small slices so an interrupt cuts the wait short.
+      const auto wake = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(backoff_seconds));
+      while (std::chrono::steady_clock::now() < wake && !interrupted()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (!model) {
       ++load_failed;
-      emit_problem("failed", job.spec.tag, e.what());
+      journal_terminal(JournalEvent::kFailed, load_error, load_attempt);
+      emit_problem("failed", job.spec.tag, load_error, fingerprint,
+                   load_attempt);
       continue;
     }
+    if (load_attempt > 1) ++retries_recovered;
     const std::string tag = job.spec.tag;  // survives the move below
     try {
       job.spec.model = model;
@@ -330,16 +603,26 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       }
       apply_time_governed_budgets(job.spec.solver, job.spec.stop,
                                   job.spec.options);
+      if (!job.explicit_attempts) {
+        job.spec.max_attempts = options.max_attempts;
+      }
+      job.spec.retry_backoff_seconds = options.retry_backoff_seconds;
+      job.spec.retry_backoff_max_seconds =
+          options.retry_backoff_max_seconds;
       job.spec.extras["model"] = model->describe();
       job.spec.extras["model_cache"] = cache_hit ? "hit" : "miss";
       job.spec.extras["model_cache_hits"] =
           std::to_string(service.cache().stats().hits);
+      job.spec.extras["fingerprint"] = fingerprint;
       const JobId id = service.submit(std::move(job.spec));
-      in_flight.emplace(id, PendingJob{line_no, problem, model, spec_key});
+      in_flight.emplace(
+          id, PendingJob{line_no, problem, model, spec_key, fingerprint});
       ++submitted;
     } catch (const std::exception& e) {
       ++invalid;  // unknown solver / bad option values
-      emit_problem("invalid", tag, e.what());
+      journal_terminal(JournalEvent::kFailed,
+                       std::string("invalid: ") + e.what(), 0);
+      emit_problem("invalid", tag, e.what(), fingerprint);
     }
     // Keep streaming while reading: with a slow producer (stdin pipes)
     // reports must not wait for EOF.
@@ -347,19 +630,55 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       emit_report(*id);
     }
   }
+  if (interrupted()) was_interrupted = true;
+  if (was_interrupted) {
+    // Stop intake, cancel everything outstanding; the drain below still
+    // emits (and journals) one line per submitted job, so nothing earned
+    // is lost and the journal re-enqueues the cancellations on --resume.
+    service.cancel_all();
+  }
 
-  // Drain the rest as they complete, out of order.
-  while (const std::optional<JobId> id = service.wait_any_finished()) {
+  // Drain the rest as they complete, out of order.  With an interrupt
+  // flag armed, poll so a signal arriving mid-drain cancels the stragglers
+  // instead of waiting out their full time limits.
+  while (!in_flight.empty()) {
+    std::optional<JobId> id;
+    if (options.interrupt != nullptr) {
+      id = service.wait_any_finished_for(0.05);
+      if (!id) {
+        if (interrupted() && !was_interrupted) {
+          was_interrupted = true;
+          service.cancel_all();
+        }
+        continue;
+      }
+    } else {
+      id = service.wait_any_finished();
+      if (!id) break;
+    }
     emit_report(*id);
   }
 
   const ModelCache::Stats cache = service.cache().stats();
   err << "batch: " << submitted << " jobs on " << options.threads
       << " threads (" << invalid << " invalid, " << failed + load_failed
-      << " failed, " << cancelled << " cancelled); model cache: "
-      << cache.hits << " hits, " << cache.misses << " misses, "
-      << cache.entries << " resident\n";
-  return (invalid == 0 && failed == 0 && load_failed == 0 && cancelled == 0)
+      << " failed, " << cancelled << " cancelled, " << rejected
+      << " rejected); retries: " << retries_attempted << " attempted, "
+      << retries_recovered << " recovered; model cache: " << cache.hits
+      << " hits, " << cache.misses << " misses, " << cache.entries
+      << " resident";
+  if (journal || journal_errors != 0) {
+    err << "; journal: " << (journal ? journal->appended() : 0)
+        << " records, " << journal_errors << " append errors";
+  }
+  if (options.resume) {
+    err << "; resumed: " << resumed_skipped << " already terminal";
+  }
+  if (was_interrupted) err << "; interrupted";
+  err << "\n";
+  if (was_interrupted) return 130;
+  return (invalid == 0 && failed == 0 && load_failed == 0 &&
+          cancelled == 0 && rejected == 0)
              ? 0
              : 1;
 }

@@ -1,0 +1,172 @@
+#include "service/job_journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json_reader.hpp"
+#include "io/json_writer.hpp"
+#include "util/failpoint.hpp"
+
+namespace dabs::service {
+
+const char* to_string(JournalEvent event) noexcept {
+  switch (event) {
+    case JournalEvent::kSubmitted:
+      return "submitted";
+    case JournalEvent::kStarted:
+      return "started";
+    case JournalEvent::kDone:
+      return "done";
+    case JournalEvent::kFailed:
+      return "failed";
+    case JournalEvent::kCancelled:
+      return "cancelled";
+    case JournalEvent::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+bool is_replay_terminal(JournalEvent event) noexcept {
+  return event == JournalEvent::kDone || event == JournalEvent::kFailed;
+}
+
+namespace {
+
+bool event_from_string(const std::string& name, JournalEvent* out) {
+  for (const JournalEvent e :
+       {JournalEvent::kSubmitted, JournalEvent::kStarted, JournalEvent::kDone,
+        JournalEvent::kFailed, JournalEvent::kCancelled,
+        JournalEvent::kRejected}) {
+    if (name == to_string(e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open journal '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+}
+
+JobJournal::~JobJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JobJournal::append(const JournalRecord& record) {
+  // The failpoint sits before any serialization so an injected append
+  // failure leaves the file untouched — the shape of a disk-full error.
+  fail::point("journal.append");
+
+  std::ostringstream line;
+  {
+    io::JsonWriter json(line);
+    json.begin_object()
+        .value("event", to_string(record.event))
+        .value("fp", record.fingerprint);
+    if (record.line != 0) json.value("line", record.line);
+    if (!record.tag.empty()) json.value("tag", record.tag);
+    if (record.attempt != 0) json.value("attempt", record.attempt);
+    if (!record.detail.empty()) json.value("detail", record.detail);
+    json.value("ts",
+               std::chrono::duration<double>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count());
+    json.end_object();
+  }
+  line << "\n";
+  const std::string text = line.str();
+
+  std::lock_guard lock(mu_);
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd_, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal write failed ('" + path_ +
+                               "'): " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(fd_) != 0) {
+    throw std::runtime_error("journal fdatasync failed ('" + path_ +
+                             "'): " + std::strerror(errno));
+  }
+  ++appended_;
+}
+
+std::uint64_t JobJournal::appended() const noexcept {
+  // appended_ only moves under mu_, but reading a stale count is harmless
+  // (summary-line accounting); no lock needed for a 64-bit aligned load on
+  // the platforms this targets — still, keep it simple and safe:
+  return appended_;
+}
+
+bool JobJournal::Replay::terminal(const std::string& fingerprint) const {
+  const auto it = last_event.find(fingerprint);
+  return it != last_event.end() && is_replay_terminal(it->second);
+}
+
+JobJournal::Replay JobJournal::replay(const std::string& path) {
+  Replay replay;
+  std::ifstream in(path);
+  if (!in) return replay;  // never-written journal: clean empty resume
+
+  constexpr std::size_t kMaxWarnings = 16;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank: not corruption
+    const auto skip = [&](const std::string& why) {
+      ++replay.skipped;
+      if (replay.warnings.size() < kMaxWarnings) {
+        replay.warnings.push_back("journal line " + std::to_string(line_no) +
+                                  ": " + why);
+      }
+    };
+    io::JsonValue record;
+    try {
+      record = io::parse_json(line);
+    } catch (const std::exception& e) {
+      // Interleaved garbage or the torn final line of a crash mid-write.
+      skip(e.what());
+      continue;
+    }
+    const io::JsonValue* event = record.find("event");
+    const io::JsonValue* fp = record.find("fp");
+    if (event == nullptr || !event->is_string() || fp == nullptr ||
+        !fp->is_string() || fp->as_string().empty()) {
+      skip("not a journal record (missing event/fp)");
+      continue;
+    }
+    JournalEvent parsed;
+    if (!event_from_string(event->as_string(), &parsed)) {
+      skip("unknown event '" + event->as_string() + "'");
+      continue;
+    }
+    ++replay.records;
+    // Last record wins; a duplicate terminal record (crash between the
+    // report write and the process exit, then a re-run) is idempotent.
+    replay.last_event[fp->as_string()] = parsed;
+  }
+  return replay;
+}
+
+}  // namespace dabs::service

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rng/xorshift.hpp"
+#include "util/failpoint.hpp"
+
 namespace dabs::service {
 
 const char* to_string(JobState state) noexcept {
@@ -18,8 +21,24 @@ const char* to_string(JobState state) noexcept {
       return "cancelled";
     case JobState::kFailed:
       return "failed";
+    case JobState::kRejected:
+      return "rejected";
   }
   return "?";
+}
+
+double retry_backoff(double initial_seconds, double cap_seconds,
+                     std::uint32_t failures, std::uint64_t salt) {
+  if (initial_seconds <= 0.0 || failures == 0) return 0.0;
+  double backoff = initial_seconds;
+  for (std::uint32_t i = 1; i < failures && backoff < cap_seconds; ++i) {
+    backoff *= 2.0;
+  }
+  if (cap_seconds > 0.0) backoff = std::min(backoff, cap_seconds);
+  // Deterministic jitter in [0.5, 1.0]x: the golden-ratio multiply spreads
+  // consecutive (salt, failures) pairs across the xorshift state space.
+  Rng rng(salt * 0x9e3779b97f4a7c15ull + failures);
+  return backoff * (0.5 + 0.5 * rng.next_unit());
 }
 
 /// Internal per-job record.  Guarded by SolverService::mu_ except for
@@ -34,6 +53,10 @@ struct SolverService::Job {
   JobState state = JobState::kQueued;
   SolveReport report;
   std::string error;
+  /// solve() invocations performed (0 = never picked up).
+  std::uint32_t attempts = 0;
+  /// Set by the watchdog when this job's deadline came due.
+  bool deadline_exceeded = false;
   // Bounded ring: newest events overwrite the oldest once full.
   std::vector<JobEvent> events;
   std::size_t ring_next = 0;
@@ -78,7 +101,9 @@ class SolverService::EventLogObserver final : public ProgressObserver {
 SolverService::SolverService() : SolverService(Config{}) {}
 
 SolverService::SolverService(Config config)
-    : config_(config), cache_(config.cache_bytes), pool_(config.threads) {}
+    : config_(std::move(config)),
+      cache_(config_.cache_bytes),
+      pool_(config_.threads) {}
 
 SolverService::~SolverService() {
   {
@@ -86,6 +111,11 @@ SolverService::~SolverService() {
     shutting_down_ = true;
   }
   cancel_all();
+  // Wake retry-backoff sleepers and the watchdog so both observe the
+  // shutdown flag.
+  cv_.notify_all();
+  cv_watchdog_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   // Queued drain tasks still run (finding nothing pending); running jobs
   // unwind within one iteration of their solver loop.
   pool_.wait_idle();
@@ -95,23 +125,56 @@ JobId SolverService::submit(JobSpec spec) {
   if (!spec.model) {
     throw std::invalid_argument("JobSpec carries no model");
   }
+  if (spec.max_attempts == 0) {
+    throw std::invalid_argument("JobSpec::max_attempts must be >= 1");
+  }
   // Build the solver up front so unknown names / bad options fail at
   // submit time with the registry's message, not inside a worker.
   std::unique_ptr<Solver> solver =
       SolverRegistry::global().create(spec.solver, spec.options);
 
   JobId id = 0;
+  bool rejected = false;
   {
     std::lock_guard lock(mu_);
     if (shutting_down_) {
       throw std::runtime_error("SolverService is shutting down");
     }
+    // Injected queue-push failure: the shape of an allocator/queue fault
+    // between validation and enqueue (caller sees the submit throw).
+    fail::point("service.queue_push");
+    // Admission control: past the configured depth the job is shed, not
+    // queued — it becomes a terminal kRejected record that still flows
+    // through the completion stream so batch consumers see one outcome
+    // per submit (and can journal + retry it on a later run).
+    rejected = config_.max_queue_depth > 0 &&
+               pending_.size() >= config_.max_queue_depth;
     id = next_id_++;
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = std::move(spec);
     job->solver = std::move(solver);
+    if (rejected) {
+      job->error = "rejected: queue depth " +
+                   std::to_string(pending_.size()) + " at the configured " +
+                   "admission bound " +
+                   std::to_string(config_.max_queue_depth);
+      Job& record = *job;
+      jobs_.emplace(id, std::move(job));
+      ++unclaimed_;
+      finalize_locked(record, JobState::kRejected);
+      return id;
+    }
     pending_.emplace(PendingKey{job->spec.priority, id}, id);
+    if (job->spec.deadline_seconds > 0.0) {
+      deadlines_.emplace(
+          std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(job->spec.deadline_seconds)),
+          id);
+      ensure_watchdog_locked();
+      cv_watchdog_.notify_one();
+    }
     jobs_.emplace(id, std::move(job));
     ++unclaimed_;
   }
@@ -133,24 +196,65 @@ void SolverService::run_one() {
     job->state = JobState::kRunning;
     ++running_;
   }
+  if (config_.on_started) config_.on_started(job->id, job->spec);
 
   EventLogObserver observer(*this, *job);
+  const std::uint32_t max_attempts = job->spec.max_attempts;
   SolveReport report;
   std::string error;
   bool failed = false;
-  try {
-    report = job->solver->solve(request_for(*job, &observer));
-  } catch (const std::exception& e) {
-    failed = true;
-    error = e.what();
-  } catch (...) {
-    failed = true;
-    error = "unknown exception";
+  bool interrupted_in_backoff = false;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    ++attempt;
+    failed = false;
+    bool retryable = false;
+    error.clear();
+    try {
+      // Injected worker fault: drives the retry/backoff path in tests
+      // ("first:2,oom" fails twice then succeeds, etc.).
+      fail::point("service.worker");
+      report = job->solver->solve(request_for(*job, &observer));
+    } catch (const std::bad_alloc&) {
+      failed = true;
+      retryable = true;
+      error = "std::bad_alloc";
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+      retryable = fail::is_retryable_message(error);
+    } catch (...) {
+      failed = true;
+      error = "unknown exception";
+    }
+    if (!failed || !retryable || attempt >= max_attempts) break;
+    // Bounded exponential backoff before the next attempt.  The sleeping
+    // worker stays responsive: cancel(), a deadline firing, and service
+    // shutdown all interrupt the wait (cancel/watchdog notify cv_).
+    const double backoff = retry_backoff(job->spec.retry_backoff_seconds,
+                                         job->spec.retry_backoff_max_seconds,
+                                         attempt, job->id);
+    std::unique_lock lock(mu_);
+    interrupted_in_backoff =
+        cv_.wait_for(lock, std::chrono::duration<double>(backoff),
+                     [this, job] {
+                       return shutting_down_ || job->token.stop_requested();
+                     });
+    if (interrupted_in_backoff) break;
   }
 
   std::lock_guard lock(mu_);
   --running_;
-  if (failed) {
+  job->attempts = attempt;
+  if (interrupted_in_backoff) {
+    // Cancelled (or shut down) while waiting to retry: the failed
+    // attempt's partial state is meaningless — report an empty cancelled
+    // run, keeping the last error for forensics.
+    job->error = std::move(error);
+    job->report = SolveReport{};
+    job->report.cancelled = true;
+    finalize_locked(*job, JobState::kCancelled);
+  } else if (failed) {
     job->error = std::move(error);
     finalize_locked(*job, JobState::kFailed);
   } else {
@@ -158,6 +262,49 @@ void SolverService::run_one() {
         report.cancelled ? JobState::kCancelled : JobState::kDone;
     job->report = std::move(report);
     finalize_locked(*job, state);
+  }
+}
+
+void SolverService::ensure_watchdog_locked() {
+  if (watchdog_.joinable() || shutting_down_) return;
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void SolverService::watchdog_loop() {
+  std::unique_lock lock(mu_);
+  while (!shutting_down_) {
+    if (deadlines_.empty()) {
+      cv_watchdog_.wait(lock, [this] {
+        return shutting_down_ || !deadlines_.empty();
+      });
+      continue;
+    }
+    const auto next = deadlines_.begin()->first;
+    if (cv_watchdog_.wait_until(lock, next,
+                                [this] { return shutting_down_; })) {
+      break;
+    }
+    // Either the earliest deadline came due or an earlier one was armed;
+    // fire everything at or before now.
+    const auto now = std::chrono::steady_clock::now();
+    while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+      const JobId id = deadlines_.begin()->second;
+      deadlines_.erase(deadlines_.begin());
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || is_terminal(it->second->state)) continue;
+      Job& job = *it->second;
+      job.deadline_exceeded = true;
+      if (job.state == JobState::kQueued) {
+        // Never ran and never will: retire in place.
+        pending_.erase(PendingKey{job.spec.priority, job.id});
+        job.report.cancelled = true;
+        finalize_locked(job, JobState::kCancelled);
+      } else {
+        // Running (or backing off between retries): stop cooperatively.
+        job.token.request_stop();
+        cv_.notify_all();
+      }
+    }
   }
 }
 
@@ -181,6 +328,34 @@ void SolverService::finalize_locked(Job& job, JobState state) {
   for (const auto& [k, v] : job.spec.extras) job.report.extras[k] = v;
   job.report.extras["job_id"] = std::to_string(job.id);
   if (!job.spec.tag.empty()) job.report.extras["tag"] = job.spec.tag;
+  // Robustness provenance: how many solve() attempts ran and how the job
+  // ultimately ended, so operators can see retries and degradation in the
+  // streamed reports, not just final failure.
+  job.report.extras["attempts"] = std::to_string(job.attempts);
+  switch (state) {
+    case JobState::kDone:
+      job.report.extras["disposition"] =
+          job.attempts > 1 ? "retried" : "completed";
+      break;
+    case JobState::kFailed:
+      job.report.extras["disposition"] = "failed";
+      break;
+    case JobState::kCancelled:
+      job.report.extras["disposition"] =
+          job.deadline_exceeded ? "deadline" : "cancelled";
+      break;
+    case JobState::kRejected:
+      job.report.extras["disposition"] = "rejected";
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // finalize is never called with a non-terminal state
+  }
+  if (job.deadline_exceeded) job.report.extras["deadline_exceeded"] = "true";
+  if (!job.error.empty() && state != JobState::kFailed &&
+      state != JobState::kRejected) {
+    job.report.extras["last_error"] = job.error;
+  }
   finished_.push_back(job.id);
   cv_.notify_all();
 }
@@ -231,6 +406,27 @@ JobSnapshot SolverService::wait(JobId id) {
   return snapshot_locked(id);  // throws if the job was released meanwhile
 }
 
+std::optional<JobSnapshot> SolverService::wait_for(JobId id, double seconds) {
+  return wait_until(id, std::chrono::steady_clock::now() +
+                            std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(seconds)));
+}
+
+std::optional<JobSnapshot> SolverService::wait_until(
+    JobId id, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(mu_);
+  if (jobs_.find(id) == jobs_.end()) {
+    throw std::out_of_range("unknown job id");
+  }
+  const bool terminal = cv_.wait_until(lock, deadline, [this, id] {
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() || is_terminal(it->second->state);
+  });
+  if (!terminal) return std::nullopt;
+  return snapshot_locked(id);  // throws if the job was released meanwhile
+}
+
 void SolverService::wait_all() {
   std::unique_lock lock(mu_);
   cv_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
@@ -239,6 +435,17 @@ void SolverService::wait_all() {
 std::optional<JobId> SolverService::wait_any_finished() {
   std::unique_lock lock(mu_);
   cv_.wait(lock, [this] { return !finished_.empty() || unclaimed_ == 0; });
+  if (finished_.empty()) return std::nullopt;
+  const JobId id = finished_.front();
+  finished_.pop_front();
+  --unclaimed_;
+  return id;
+}
+
+std::optional<JobId> SolverService::wait_any_finished_for(double seconds) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+               [this] { return !finished_.empty() || unclaimed_ == 0; });
   if (finished_.empty()) return std::nullopt;
   const JobId id = finished_.front();
   finished_.pop_front();
@@ -284,10 +491,13 @@ bool SolverService::cancel(JobId id) {
       return true;
     case JobState::kRunning:
       job.token.request_stop();
+      // Wake a worker sleeping in retry backoff for this job.
+      cv_.notify_all();
       return true;
     case JobState::kDone:
     case JobState::kCancelled:
     case JobState::kFailed:
+    case JobState::kRejected:
       return false;
   }
   return false;

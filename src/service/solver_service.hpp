@@ -18,16 +18,37 @@
 // immediately when still queued.  Observability: a service-owned
 // ProgressObserver feeds a bounded per-job event log (new-best and tick
 // events) readable from any thread via snapshot().
+//
+// Robustness (the fault-tolerance slice):
+//
+//   - Retry: a job whose solve() throws a retryable error (std::bad_alloc,
+//     or any exception whose message carries fail::kRetryablePrefix) is
+//     re-run up to JobSpec::max_attempts times with bounded exponential
+//     backoff + deterministic jitter; the attempt count and final
+//     disposition land in the report extras.
+//   - Deadlines: JobSpec::deadline_seconds arms a watchdog that fires the
+//     job's StopToken when the wall clock (measured from submit) runs out —
+//     a queued job retires immediately, a running one unwinds
+//     cooperatively; the report extras carry "deadline_exceeded".
+//   - Admission control: Config::max_queue_depth sheds load instead of
+//     growing the queue unboundedly — an over-capacity submit returns a
+//     job that is immediately terminal in the new kRejected state.
+//   - Observation hook: Config::on_started fires (on the worker thread,
+//     outside the service lock) when a worker picks a job up — the batch
+//     runner journals the transition.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/solve_report.hpp"
@@ -45,13 +66,14 @@ enum class JobState : std::uint8_t {
   kRunning,    // a worker is inside Solver::solve
   kDone,       // solve returned normally (report valid)
   kCancelled,  // cancelled before or during the run (report valid)
-  kFailed,     // solve threw (error holds the message)
+  kFailed,     // solve threw and retries are exhausted (error holds it)
+  kRejected,   // shed by admission control at submit (error holds why)
 };
 
 const char* to_string(JobState state) noexcept;
 inline bool is_terminal(JobState state) noexcept {
   return state == JobState::kDone || state == JobState::kCancelled ||
-         state == JobState::kFailed;
+         state == JobState::kFailed || state == JobState::kRejected;
 }
 
 /// One entry of the bounded per-job event log.
@@ -86,6 +108,20 @@ struct JobSpec {
   /// Granularity of kTick entries in the event log (0 = new-best only).
   double tick_seconds = 0.0;
 
+  /// Wall-clock deadline in seconds, measured from submit (0 = none).  The
+  /// watchdog fires the job's StopToken when it expires; the job ends
+  /// kCancelled with "deadline_exceeded" in its extras.
+  double deadline_seconds = 0.0;
+
+  /// Total solve() attempts allowed for retryable failures (>= 1).  Only
+  /// std::bad_alloc and fail::kRetryablePrefix-marked errors retry;
+  /// anything else fails on the first throw.
+  std::uint32_t max_attempts = 1;
+  /// Initial retry backoff; doubles per failed attempt (with deterministic
+  /// jitter in [0.5, 1.0]x), capped at retry_backoff_max_seconds.
+  double retry_backoff_seconds = 0.05;
+  double retry_backoff_max_seconds = 2.0;
+
   /// Merged into the final report's extras (caller-owned annotations, e.g.
   /// the batch front end records the model-cache outcome here).
   std::map<std::string, std::string> extras;
@@ -100,13 +136,22 @@ struct JobSnapshot {
   /// Valid for kDone and kCancelled (a cancelled-while-running job reports
   /// its best-so-far; a cancelled-while-queued job reports an empty run).
   SolveReport report;
-  /// What solve() threw; only for kFailed.
+  /// What solve() threw (kFailed) or why admission shed the job
+  /// (kRejected).
   std::string error;
   /// Chronological bounded event log (oldest first).
   std::vector<JobEvent> events;
   /// Events discarded once the log was full (oldest are dropped).
   std::uint64_t events_dropped = 0;
 };
+
+/// Bounded exponential backoff with deterministic jitter: for the
+/// `failures`-th consecutive failure (1-based), min(cap, initial *
+/// 2^(failures-1)) scaled by a jitter factor in [0.5, 1.0] drawn from a
+/// salt-seeded xorshift — deterministic for a fixed (salt, failures), so
+/// tests and replays see stable schedules while distinct jobs decorrelate.
+double retry_backoff(double initial_seconds, double cap_seconds,
+                     std::uint32_t failures, std::uint64_t salt);
 
 class SolverService {
  public:
@@ -117,6 +162,13 @@ class SolverService {
     std::size_t max_events_per_job = 64;
     /// Byte budget of the owned ModelCache.
     std::size_t cache_bytes = ModelCache::kDefaultMaxBytes;
+    /// Admission bound: submits past this queue depth are shed as
+    /// kRejected instead of queued (0 = unbounded).
+    std::size_t max_queue_depth = 0;
+    /// Fired on the worker thread, outside the service lock, when the
+    /// worker picks the job up (once per job, before the first attempt).
+    /// Keep it fast; must not call back into the service.
+    std::function<void(JobId, const JobSpec&)> on_started;
   };
 
   SolverService();
@@ -128,7 +180,10 @@ class SolverService {
   SolverService& operator=(const SolverService&) = delete;
 
   /// Validates the spec (non-null model, known solver, buildable options —
-  /// throws std::invalid_argument otherwise) and enqueues the job.
+  /// throws std::invalid_argument otherwise) and enqueues the job.  When
+  /// admission control sheds it, the returned job is already terminal in
+  /// state kRejected (it still flows through the completion stream so
+  /// batch consumers see exactly one outcome per submit).
   JobId submit(JobSpec spec);
 
   /// Current state; throws std::out_of_range for an unknown id.
@@ -138,7 +193,17 @@ class SolverService {
   JobSnapshot snapshot(JobId id) const;
 
   /// Blocks until the job reaches a terminal state, then snapshots it.
+  /// Throws std::out_of_range for an id that was never submitted, and for
+  /// one whose record a concurrent release() dropped mid-wait.
   JobSnapshot wait(JobId id);
+
+  /// wait() with a timeout: nullopt when the job is still not terminal
+  /// after `seconds`.  Same std::out_of_range contract as wait().
+  std::optional<JobSnapshot> wait_for(JobId id, double seconds);
+
+  /// wait() with an absolute deadline; same contract as wait_for().
+  std::optional<JobSnapshot> wait_until(
+      JobId id, std::chrono::steady_clock::time_point deadline);
 
   /// Blocks until every submitted job is terminal.
   void wait_all();
@@ -149,6 +214,11 @@ class SolverService {
   /// unclaimed.  Each finished job is delivered exactly once across all
   /// callers.
   std::optional<JobId> wait_any_finished();
+
+  /// wait_any_finished() with a timeout: nullopt when nothing finished
+  /// within `seconds` (callers distinguish "timed out" from "none left"
+  /// via outstanding()/their own bookkeeping).
+  std::optional<JobId> wait_any_finished_for(double seconds);
 
   /// Non-blocking wait_any_finished(): a finished unclaimed job id if one
   /// is ready right now, nullopt otherwise.
@@ -163,8 +233,9 @@ class SolverService {
   bool release(JobId id);
 
   /// Cancels a job: a queued job retires immediately (kCancelled), a
-  /// running job gets its StopToken fired and winds down cooperatively.
-  /// Returns false when the job is unknown or already terminal.
+  /// running job gets its StopToken fired and winds down cooperatively
+  /// (a retry backoff in progress is interrupted).  Returns false when
+  /// the job is unknown or already terminal.
   bool cancel(JobId id);
 
   /// Fires every non-terminal job's cancellation.
@@ -185,6 +256,8 @@ class SolverService {
   class EventLogObserver;
 
   void run_one();
+  void watchdog_loop();
+  void ensure_watchdog_locked();
   void finalize_locked(Job& job, JobState state);
   JobSnapshot snapshot_locked(JobId id) const;
   static SolveRequest request_for(const Job& job,
@@ -207,13 +280,19 @@ class SolverService {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable cv_watchdog_;
   std::map<JobId, std::unique_ptr<Job>> jobs_;
   std::map<PendingKey, JobId> pending_;
   std::deque<JobId> finished_;  // terminal, not yet claimed by wait_any
+  /// Armed per-job deadlines (absolute), consumed by the watchdog; entries
+  /// for already-terminal jobs are skipped when they come due.
+  std::multimap<std::chrono::steady_clock::time_point, JobId> deadlines_;
   JobId next_id_ = 1;
   std::size_t running_ = 0;
   std::size_t unclaimed_ = 0;  // submitted minus wait_any deliveries
   bool shutting_down_ = false;
+  /// Lazily started on the first deadline submit; joined in the dtor.
+  std::thread watchdog_;
 
   /// Declared last: its destructor drains queued drain-tasks, which touch
   /// everything above.

@@ -1,0 +1,232 @@
+#include "util/failpoint.hpp"
+
+#if defined(DABS_FAILPOINTS_ENABLED)
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+#include "rng/xorshift.hpp"
+
+namespace dabs::fail {
+
+namespace {
+
+struct Point {
+  enum class Mode : std::uint8_t { kOff, kAlways, kNth, kFirst, kProb };
+  enum class Kind : std::uint8_t { kFault, kRetryable, kOom };
+
+  Mode mode = Mode::kOff;
+  Kind kind = Kind::kFault;
+  std::uint64_t arg = 0;   // N for nth/first
+  double prob = 0.0;       // P for prob
+  Rng rng{0xfa11u};        // prob draws; reseeded at configure time
+  std::uint64_t hits = 0;  // counted even when the mode never fires
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+  // Fast-path gate: number of configured points (armed or "off" — an off
+  // point still counts hits).  point() bails on zero without taking the
+  // lock, so an un-configured build pays one relaxed atomic load per hook.
+  std::atomic<int> armed{0};
+};
+
+Registry& registry() {
+  static Registry r;  // leaked-on-exit singleton: hooks may run very late
+  return r;
+}
+
+int armed_count_locked(const Registry& r) {
+  return static_cast<int>(r.points.size());
+}
+
+Point parse_spec(const std::string& name, const std::string& spec) {
+  Point p;
+  const std::size_t comma = spec.find(',');
+  const std::string mode = spec.substr(0, comma);
+  const std::string kind =
+      comma == std::string::npos ? "fault" : spec.substr(comma + 1);
+
+  const auto bad = [&name, &spec](const char* why) -> std::invalid_argument {
+    return std::invalid_argument("failpoint '" + name + "': bad spec '" +
+                                 spec + "' (" + why + ")");
+  };
+  const auto parse_u64 = [&bad](const std::string& s) -> std::uint64_t {
+    try {
+      std::size_t end = 0;
+      const unsigned long long v = std::stoull(s, &end);
+      if (end != s.size()) throw bad("trailing characters in number");
+      return v;
+    } catch (const std::invalid_argument&) {
+      throw bad("expected a number");
+    } catch (const std::out_of_range&) {
+      throw bad("number out of range");
+    }
+  };
+
+  if (mode == "off") {
+    p.mode = Point::Mode::kOff;
+  } else if (mode == "always") {
+    p.mode = Point::Mode::kAlways;
+  } else if (mode.rfind("nth:", 0) == 0 || mode.rfind("first:", 0) == 0) {
+    p.mode = mode[0] == 'n' ? Point::Mode::kNth : Point::Mode::kFirst;
+    p.arg = parse_u64(mode.substr(mode.find(':') + 1));
+    if (p.arg == 0) throw bad("N must be >= 1");
+  } else if (mode.rfind("prob:", 0) == 0) {
+    p.mode = Point::Mode::kProb;
+    std::string rest = mode.substr(5);
+    const std::size_t colon = rest.find(':');
+    std::uint64_t seed = 0xfa11bacc;
+    if (colon != std::string::npos) {
+      seed = parse_u64(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    try {
+      std::size_t end = 0;
+      p.prob = std::stod(rest, &end);
+      if (end != rest.size()) throw bad("trailing characters in probability");
+    } catch (const std::invalid_argument&) {
+      throw bad("expected a probability");
+    } catch (const std::out_of_range&) {
+      throw bad("probability out of range");
+    }
+    if (p.prob < 0.0 || p.prob > 1.0) throw bad("probability not in [0, 1]");
+    p.rng.reseed(seed);
+  } else {
+    throw bad("unknown mode");
+  }
+
+  if (kind == "fault") {
+    p.kind = Point::Kind::kFault;
+  } else if (kind == "retryable") {
+    p.kind = Point::Kind::kRetryable;
+  } else if (kind == "oom") {
+    p.kind = Point::Kind::kOom;
+  } else {
+    throw bad("unknown kind");
+  }
+  return p;
+}
+
+void load_env_locked(Registry& r) {
+  // "name=spec;name=spec": malformed entries are ignored (an operator typo
+  // in the environment must not take the process down before main()).
+  const char* env = std::getenv("DABS_FAILPOINTS");
+  if (env == nullptr) return;
+  const std::string all(env);
+  std::size_t start = 0;
+  while (start < all.size()) {
+    std::size_t end = all.find(';', start);
+    if (end == std::string::npos) end = all.size();
+    const std::string entry = all.substr(start, end - start);
+    start = end + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    try {
+      Point p = parse_spec(entry.substr(0, eq), entry.substr(eq + 1));
+      p.hits = r.points[entry.substr(0, eq)].hits;
+      r.points[entry.substr(0, eq)] = p;
+    } catch (const std::invalid_argument&) {
+      // skip the malformed entry
+    }
+  }
+}
+
+std::once_flag env_once;
+
+void ensure_env_loaded() {
+  std::call_once(env_once, [] {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    load_env_locked(r);
+    r.armed.store(armed_count_locked(r), std::memory_order_relaxed);
+  });
+}
+
+}  // namespace
+
+void point(const char* name) {
+  ensure_env_loaded();
+  Registry& r = registry();
+  if (r.armed.load(std::memory_order_relaxed) == 0) return;
+
+  Point::Kind kind = Point::Kind::kFault;
+  bool fire = false;
+  {
+    std::lock_guard lock(r.mu);
+    const auto it = r.points.find(name);
+    if (it == r.points.end()) return;
+    Point& p = it->second;
+    ++p.hits;
+    switch (p.mode) {
+      case Point::Mode::kOff:
+        break;
+      case Point::Mode::kAlways:
+        fire = true;
+        break;
+      case Point::Mode::kNth:
+        fire = p.hits == p.arg;
+        break;
+      case Point::Mode::kFirst:
+        fire = p.hits <= p.arg;
+        break;
+      case Point::Mode::kProb:
+        fire = p.rng.next_unit() < p.prob;
+        break;
+    }
+    kind = p.kind;
+  }
+  if (!fire) return;
+  switch (kind) {
+    case Point::Kind::kOom:
+      throw std::bad_alloc();
+    case Point::Kind::kRetryable:
+      throw InjectedFault(std::string(kRetryablePrefix) +
+                          " injected fault at " + name);
+    case Point::Kind::kFault:
+      break;
+  }
+  throw InjectedFault(std::string("injected fault at ") + name);
+}
+
+void configure(const std::string& name, const std::string& spec) {
+  ensure_env_loaded();
+  Point p = parse_spec(name, spec);
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  p.hits = r.points[name].hits;  // configure() re-arms, it does not reset
+  r.points[name] = p;
+  r.armed.store(armed_count_locked(r), std::memory_order_relaxed);
+}
+
+void clear() {
+  ensure_env_loaded();
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.points.clear();
+  r.armed.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& name) {
+  ensure_env_loaded();
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+void load_from_env() {
+  ensure_env_loaded();  // keeps the once-flag consistent
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  load_env_locked(r);
+  r.armed.store(armed_count_locked(r), std::memory_order_relaxed);
+}
+
+}  // namespace dabs::fail
+
+#endif  // DABS_FAILPOINTS_ENABLED

@@ -1,0 +1,94 @@
+// Fault-injection harness: named failpoints compiled in behind the
+// DABS_FAILPOINTS build option (ON by default; an inactive point costs one
+// relaxed atomic load).  Production code threads `fail::point("name")`
+// hooks through its failure-prone seams — model load, journal append,
+// worker execution, queue push — and tests (or an operator, via the
+// DABS_FAILPOINTS environment variable) arm them to drive every
+// error-handling path deterministically instead of hoping a real fault
+// shows up.
+//
+// Activation spec grammar (one per point):
+//
+//   mode[:arg][,kind]
+//
+//   modes:  always        fire on every hit
+//           nth:N         fire on exactly the Nth hit (1-based)
+//           first:N       fire on hits 1..N, then pass (retry-succeeds
+//                         scenarios: "first:2" fails twice, then works)
+//           prob:P[:seed] fire with probability P per hit (seeded xorshift,
+//                         deterministic for a fixed seed)
+//           off           never fire (still counts hits)
+//
+//   kinds:  fault         throw InjectedFault (default; non-retryable)
+//           retryable     throw InjectedFault whose message carries the
+//                         "retryable:" prefix the service retry policy
+//                         recognizes
+//           oom           throw std::bad_alloc (the real retryable class
+//                         the paper-scale batches hit)
+//
+// Environment activation: DABS_FAILPOINTS="name=spec;name2=spec2", read
+// once on the first point() evaluation (or explicitly via
+// load_from_env()).  Programmatic activation: configure(name, spec).
+//
+// When built with -DDABS_FAILPOINTS=OFF every function below is an inline
+// no-op and compiled_in() is false; failpoint-driven tests skip themselves.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dabs::fail {
+
+/// What an armed failpoint throws (kinds fault/retryable).  Derives from
+/// std::runtime_error so un-instrumented catch blocks treat an injected
+/// fault exactly like a real one.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Message prefix that marks an error as retryable to the service retry
+/// policy (see SolverService); shared so tests and solvers agree on it.
+inline constexpr const char* kRetryablePrefix = "retryable:";
+
+#if defined(DABS_FAILPOINTS_ENABLED)
+
+/// True when the harness is compiled in.
+constexpr bool compiled_in() noexcept { return true; }
+
+/// Evaluates the named failpoint: counts the hit and throws per the armed
+/// spec.  No-op (one relaxed atomic load) while nothing is armed.
+void point(const char* name);
+
+/// Arms `name` with `spec` (grammar above); "off" disarms while keeping
+/// the hit counter.  Throws std::invalid_argument on a malformed spec.
+void configure(const std::string& name, const std::string& spec);
+
+/// Disarms every point and zeroes all hit counters.
+void clear();
+
+/// Hits recorded for `name` (armed or not); 0 for an unknown point.
+std::uint64_t hits(const std::string& name);
+
+/// (Re-)reads the DABS_FAILPOINTS environment variable, replacing the
+/// current armed set.  Also runs implicitly before the first point().
+void load_from_env();
+
+#else  // !DABS_FAILPOINTS_ENABLED
+
+constexpr bool compiled_in() noexcept { return false; }
+inline void point(const char*) {}
+inline void configure(const std::string&, const std::string&) {}
+inline void clear() {}
+inline std::uint64_t hits(const std::string&) { return 0; }
+inline void load_from_env() {}
+
+#endif  // DABS_FAILPOINTS_ENABLED
+
+/// True when `what` (an exception message) carries the retryable marker.
+inline bool is_retryable_message(const std::string& what) {
+  return what.rfind(kRetryablePrefix, 0) == 0;
+}
+
+}  // namespace dabs::fail

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Crash-replay integration test for `dabs_cli batch --journal --resume`.
+#
+#   1. Run a reference batch (no journal) to learn the expected fingerprint
+#      set.
+#   2. Start the same batch with a journal and SIGKILL it mid-flight — the
+#      hardest crash there is: no handlers, no flushing, no goodbyes.
+#   3. Re-run with --resume until the batch completes.
+#   4. The union of report fingerprints across the crashed run and the
+#      resumed runs must equal the reference set — nothing lost, nothing
+#      duplicated.
+#
+# Usage: crash_replay_e2e.sh <path-to-dabs_cli>
+set -u
+
+CLI=${1:?usage: crash_replay_e2e.sh <path-to-dabs_cli>}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/dabs_crash_replay.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# Problem-generator jobs: hermetic (no model files), long enough that a
+# mid-flight kill lands while work is genuinely outstanding.  Distinct
+# seeds make every fingerprint unique — no "#N" suffixes to reason about.
+JOBS="$WORK/jobs.jsonl"
+for i in $(seq 0 11); do
+  printf '{"problem": "maxcut", "params": {"n": 24, "m": 60, "seed": %d}, "solver": "sa", "max_batches": 60000, "seed": %d, "tag": "cr%d"}\n' \
+    "$((500 + i))" "$i" "$i" >> "$JOBS"
+done
+
+fingerprints() {
+  # One report object per line; every report carries its fingerprint.
+  sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p' "$@" | sort
+}
+
+# --- 1. reference: uninterrupted run --------------------------------------
+"$CLI" batch "$JOBS" --jobs 2 > "$WORK/reference.jsonl" 2> "$WORK/reference.err" \
+  || fail "reference run exited $? ($(cat "$WORK/reference.err"))"
+fingerprints "$WORK/reference.jsonl" > "$WORK/expected.txt"
+[ "$(wc -l < "$WORK/expected.txt")" -eq 12 ] || fail "reference run produced $(wc -l < "$WORK/expected.txt") fingerprints, wanted 12"
+
+# --- 2. journaled run, SIGKILLed mid-flight -------------------------------
+JOURNAL="$WORK/journal.jsonl"
+"$CLI" batch "$JOBS" --jobs 2 --journal "$JOURNAL" > "$WORK/run1.jsonl" 2> "$WORK/run1.err" &
+VICTIM=$!
+# Kill once the journal shows real progress (at least one job started) so
+# the crash lands mid-batch, not before or after the interesting window.
+for _ in $(seq 1 200); do
+  if [ -f "$JOURNAL" ] && grep -q '"event":"started"' "$JOURNAL"; then
+    break
+  fi
+  if ! kill -0 "$VICTIM" 2>/dev/null; then
+    break  # finished before we could kill it: resume is then a no-op
+  fi
+  sleep 0.05
+done
+kill -9 "$VICTIM" 2>/dev/null
+wait "$VICTIM" 2>/dev/null
+[ -f "$JOURNAL" ] || fail "journaled run never created the journal"
+
+# --- 3. resume -------------------------------------------------------------
+# Exit 0 from a --resume pass means every job that was not already terminal
+# in the journal ran to completion, so one clean pass finishes the set.
+"$CLI" batch "$JOBS" --jobs 2 --journal "$JOURNAL" --resume \
+  > "$WORK/resume1.jsonl" 2> "$WORK/resume1.err" \
+  || fail "resume exited $? ($(cat "$WORK/resume1.err"))"
+
+# --- 4. union check: nothing lost, nothing duplicated ----------------------
+# Only count completed reports — the torn run1 tail may hold a partial line.
+grep -h '"status":"done"' "$WORK"/run1.jsonl "$WORK"/resume*.jsonl \
+  | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p' | sort > "$WORK/actual_all.txt"
+sort -u "$WORK/actual_all.txt" > "$WORK/actual_unique.txt"
+
+diff "$WORK/expected.txt" "$WORK/actual_unique.txt" >&2 \
+  || fail "resumed fingerprint set differs from the uninterrupted reference"
+cmp -s "$WORK/actual_all.txt" "$WORK/actual_unique.txt" \
+  || fail "some job was reported done more than once across the runs"
+
+echo "PASS: 12/12 fingerprints recovered across crash + resume"

@@ -1,0 +1,166 @@
+// Fault-injection harness coverage: activation spec grammar, firing modes,
+// exception kinds, hit accounting, and environment-variable activation.
+// When the harness is compiled out (-DDABS_FAILPOINTS=OFF) every test
+// skips — the hooks are inline no-ops and there is nothing to observe.
+#include "util/failpoint.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dabs::fail {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!compiled_in()) GTEST_SKIP() << "built with DABS_FAILPOINTS=OFF";
+    clear();
+  }
+  void TearDown() override {
+    if (compiled_in()) clear();
+  }
+};
+
+TEST_F(FailpointTest, UnconfiguredPointIsInert) {
+  EXPECT_NO_THROW(point("never.configured"));
+  EXPECT_EQ(hits("never.configured"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  configure("p", "always");
+  EXPECT_THROW(point("p"), InjectedFault);
+  EXPECT_THROW(point("p"), InjectedFault);
+  EXPECT_EQ(hits("p"), 2u);
+}
+
+TEST_F(FailpointTest, FaultMessageNamesThePoint) {
+  configure("p", "always");
+  try {
+    point("p");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("p"), std::string::npos);
+    EXPECT_FALSE(is_retryable_message(e.what()));
+  }
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  configure("p", "nth:3");
+  EXPECT_NO_THROW(point("p"));
+  EXPECT_NO_THROW(point("p"));
+  EXPECT_THROW(point("p"), InjectedFault);
+  EXPECT_NO_THROW(point("p"));
+  EXPECT_EQ(hits("p"), 4u);
+}
+
+TEST_F(FailpointTest, FirstFailsNThenPasses) {
+  // The retry-succeeds scenario: two injected failures, then clean runs.
+  configure("p", "first:2");
+  EXPECT_THROW(point("p"), InjectedFault);
+  EXPECT_THROW(point("p"), InjectedFault);
+  EXPECT_NO_THROW(point("p"));
+  EXPECT_NO_THROW(point("p"));
+}
+
+TEST_F(FailpointTest, ProbZeroNeverFiresProbOneAlwaysFires) {
+  configure("never", "prob:0.0");
+  configure("surely", "prob:1.0");
+  for (int i = 0; i < 50; ++i) EXPECT_NO_THROW(point("never"));
+  EXPECT_THROW(point("surely"), InjectedFault);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicForAFixedSeed) {
+  const auto run = [](const char* name) {
+    configure(name, "prob:0.5:12345");
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        point(name);
+        pattern += '.';
+      } catch (const InjectedFault&) {
+        pattern += 'X';
+      }
+    }
+    return pattern;
+  };
+  const std::string first = run("a");
+  const std::string second = run("b");
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointTest, OffCountsHitsWithoutFiring) {
+  configure("p", "off");
+  EXPECT_NO_THROW(point("p"));
+  EXPECT_NO_THROW(point("p"));
+  EXPECT_EQ(hits("p"), 2u);
+}
+
+TEST_F(FailpointTest, RetryableKindCarriesTheMarkerPrefix) {
+  configure("p", "always,retryable");
+  try {
+    point("p");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_TRUE(is_retryable_message(e.what()));
+  }
+}
+
+TEST_F(FailpointTest, OomKindThrowsBadAlloc) {
+  configure("p", "always,oom");
+  EXPECT_THROW(point("p"), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, ReconfigurePreservesHitsClearResetsThem) {
+  configure("p", "off");
+  point("p");
+  point("p");
+  configure("p", "nth:3");  // re-arm: the counter keeps running
+  EXPECT_THROW(point("p"), InjectedFault);
+  EXPECT_EQ(hits("p"), 3u);
+  clear();
+  EXPECT_EQ(hits("p"), 0u);
+  EXPECT_NO_THROW(point("p"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_THROW(configure("p", ""), std::invalid_argument);
+  EXPECT_THROW(configure("p", "sometimes"), std::invalid_argument);
+  EXPECT_THROW(configure("p", "nth:0"), std::invalid_argument);
+  EXPECT_THROW(configure("p", "nth:x"), std::invalid_argument);
+  EXPECT_THROW(configure("p", "first:"), std::invalid_argument);
+  EXPECT_THROW(configure("p", "prob:1.5"), std::invalid_argument);
+  EXPECT_THROW(configure("p", "prob:-0.1"), std::invalid_argument);
+  EXPECT_THROW(configure("p", "always,kaboom"), std::invalid_argument);
+  EXPECT_NO_THROW(point("p"));  // nothing was armed by the rejects
+}
+
+TEST_F(FailpointTest, EnvVariableArmsPoints) {
+  ::setenv("DABS_FAILPOINTS", "env.a=always;env.b=first:1,oom", 1);
+  load_from_env();
+  ::unsetenv("DABS_FAILPOINTS");
+  EXPECT_THROW(point("env.a"), InjectedFault);
+  EXPECT_THROW(point("env.b"), std::bad_alloc);
+  EXPECT_NO_THROW(point("env.b"));
+}
+
+TEST_F(FailpointTest, MalformedEnvEntriesAreSkippedNotFatal) {
+  ::setenv("DABS_FAILPOINTS", "bad spec here;=nope;ok=nth:1;x=wat:9", 1);
+  load_from_env();
+  ::unsetenv("DABS_FAILPOINTS");
+  EXPECT_THROW(point("ok"), InjectedFault);
+  EXPECT_NO_THROW(point("x"));
+}
+
+TEST_F(FailpointTest, IsRetryableMessageMatchesPrefixOnly) {
+  EXPECT_TRUE(is_retryable_message("retryable: disk blip"));
+  EXPECT_FALSE(is_retryable_message("error was retryable: maybe"));
+  EXPECT_FALSE(is_retryable_message(""));
+}
+
+}  // namespace
+}  // namespace dabs::fail

@@ -1,0 +1,237 @@
+// Write-ahead job journal: append/replay round trip and — the point of a
+// journal — tolerance of every corruption a crash can leave behind:
+// truncated final lines, interleaved garbage, duplicate terminal records,
+// and zero-byte files.
+#include "service/job_journal.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dabs::service {
+namespace {
+
+std::string temp_path(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(JobJournalTest, AppendReplayRoundTrip) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  {
+    JobJournal journal(path);
+    JournalRecord submitted;
+    submitted.event = JournalEvent::kSubmitted;
+    submitted.fingerprint = "aaaa";
+    submitted.line = 1;
+    submitted.tag = "hot";
+    journal.append(submitted);
+    JournalRecord started = submitted;
+    started.event = JournalEvent::kStarted;
+    journal.append(started);
+    JournalRecord done = submitted;
+    done.event = JournalEvent::kDone;
+    done.attempt = 2;
+    journal.append(done);
+    JournalRecord other;
+    other.event = JournalEvent::kSubmitted;
+    other.fingerprint = "bbbb";
+    other.line = 2;
+    journal.append(other);
+    EXPECT_EQ(journal.appended(), 4u);
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.records, 4u);
+  EXPECT_EQ(replay.skipped, 0u);
+  ASSERT_EQ(replay.last_event.size(), 2u);
+  EXPECT_EQ(replay.last_event.at("aaaa"), JournalEvent::kDone);
+  EXPECT_EQ(replay.last_event.at("bbbb"), JournalEvent::kSubmitted);
+  EXPECT_TRUE(replay.terminal("aaaa"));
+  EXPECT_FALSE(replay.terminal("bbbb"));
+  EXPECT_FALSE(replay.terminal("never-seen"));
+}
+
+TEST(JobJournalTest, ReplayTerminalIsDoneOrFailedOnly) {
+  // Cancelled and rejected jobs re-enqueue on --resume; done and failed do
+  // not (the contract batch resume is built on).
+  EXPECT_TRUE(is_replay_terminal(JournalEvent::kDone));
+  EXPECT_TRUE(is_replay_terminal(JournalEvent::kFailed));
+  EXPECT_FALSE(is_replay_terminal(JournalEvent::kSubmitted));
+  EXPECT_FALSE(is_replay_terminal(JournalEvent::kStarted));
+  EXPECT_FALSE(is_replay_terminal(JournalEvent::kCancelled));
+  EXPECT_FALSE(is_replay_terminal(JournalEvent::kRejected));
+}
+
+TEST(JobJournalTest, AppendsAccumulateAcrossReopens) {
+  // A resumed run opens the same journal and keeps appending — O_APPEND,
+  // no truncation of the history it is resuming from.
+  const std::string path = temp_path("journal_reopen.jsonl");
+  {
+    JobJournal journal(path);
+    JournalRecord r;
+    r.fingerprint = "aaaa";
+    journal.append(r);
+  }
+  {
+    JobJournal journal(path);
+    JournalRecord r;
+    r.event = JournalEvent::kDone;
+    r.fingerprint = "aaaa";
+    journal.append(r);
+    EXPECT_EQ(journal.appended(), 1u);  // per-handle count
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.records, 2u);
+  EXPECT_TRUE(replay.terminal("aaaa"));
+}
+
+TEST(JobJournalTest, TruncatedFinalLineIsSkippedNotFatal) {
+  // The torn write a kill -9 mid-append leaves behind: everything before
+  // it replays, the torn tail is counted and warned about.
+  const std::string path = temp_path("journal_torn.jsonl");
+  {
+    JobJournal journal(path);
+    JournalRecord r;
+    r.fingerprint = "aaaa";
+    r.event = JournalEvent::kDone;
+    journal.append(r);
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << R"({"event": "submitted", "fp": "bb)";  // no close, no newline
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.records, 1u);
+  EXPECT_EQ(replay.skipped, 1u);
+  ASSERT_EQ(replay.warnings.size(), 1u);
+  EXPECT_NE(replay.warnings[0].find("line 2"), std::string::npos);
+  EXPECT_TRUE(replay.terminal("aaaa"));
+  EXPECT_FALSE(replay.terminal("bb"));
+}
+
+TEST(JobJournalTest, InterleavedGarbageIsSkippedRecordsSurvive) {
+  const std::string path = temp_path("journal_garbage.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"event": "submitted", "fp": "aaaa"})" << "\n"
+        << "!!! not json at all !!!\n"
+        << R"({"this": "parses but is no journal record"})" << "\n"
+        << R"({"event": "exploded", "fp": "aaaa"})" << "\n"
+        << R"({"event": 7, "fp": "aaaa"})" << "\n"
+        << R"({"event": "done", "fp": ""})" << "\n"
+        << "\n"  // blank: not corruption, not counted
+        << R"({"event": "done", "fp": "aaaa", "attempt": 1})" << "\n";
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.records, 2u);
+  EXPECT_EQ(replay.skipped, 5u);
+  EXPECT_EQ(replay.warnings.size(), 5u);
+  EXPECT_TRUE(replay.terminal("aaaa"));
+}
+
+TEST(JobJournalTest, DuplicateTerminalRecordsAreIdempotent) {
+  // Crash between the report write and process exit, then a re-run that
+  // finishes the job again: two terminal records, one outcome.
+  const std::string path = temp_path("journal_dup.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"event": "submitted", "fp": "aaaa"})" << "\n"
+        << R"({"event": "done", "fp": "aaaa"})" << "\n"
+        << R"({"event": "done", "fp": "aaaa"})" << "\n";
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.records, 3u);
+  EXPECT_EQ(replay.skipped, 0u);
+  EXPECT_EQ(replay.last_event.size(), 1u);
+  EXPECT_TRUE(replay.terminal("aaaa"));
+}
+
+TEST(JobJournalTest, LastRecordWinsAcrossConflictingEvents) {
+  // A failed re-run after a done (operator re-ran with --resume off):
+  // the journal is a log, the latest state is the truth.
+  const std::string path = temp_path("journal_conflict.jsonl");
+  {
+    std::ofstream out(path);
+    out << R"({"event": "done", "fp": "aaaa"})" << "\n"
+        << R"({"event": "submitted", "fp": "aaaa"})" << "\n";
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.last_event.at("aaaa"), JournalEvent::kSubmitted);
+  EXPECT_FALSE(replay.terminal("aaaa"));
+}
+
+TEST(JobJournalTest, ZeroByteFileReplaysEmpty) {
+  const std::string path = temp_path("journal_empty.jsonl");
+  { std::ofstream out(path); }  // create, write nothing
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.records, 0u);
+  EXPECT_EQ(replay.skipped, 0u);
+  EXPECT_TRUE(replay.last_event.empty());
+}
+
+TEST(JobJournalTest, MissingFileReplaysEmpty) {
+  const JobJournal::Replay replay =
+      JobJournal::replay(temp_path("journal_never_written.jsonl"));
+  EXPECT_EQ(replay.records, 0u);
+  EXPECT_EQ(replay.skipped, 0u);
+}
+
+TEST(JobJournalTest, WarningListIsBoundedSkipCountIsNot) {
+  const std::string path = temp_path("journal_many_bad.jsonl");
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 40; ++i) out << "garbage line " << i << "\n";
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  EXPECT_EQ(replay.skipped, 40u);
+  EXPECT_LT(replay.warnings.size(), 40u);
+  EXPECT_GE(replay.warnings.size(), 1u);
+}
+
+TEST(JobJournalTest, UnopenablePathThrows) {
+  EXPECT_THROW(JobJournal("/nonexistent-dir-for-sure/journal.jsonl"),
+               std::runtime_error);
+}
+
+TEST(JobJournalTest, RecordsSerializeOptionalFieldsOnlyWhenSet) {
+  const std::string path = temp_path("journal_fields.jsonl");
+  {
+    JobJournal journal(path);
+    JournalRecord bare;
+    bare.fingerprint = "aaaa";
+    journal.append(bare);
+    JournalRecord full;
+    full.event = JournalEvent::kFailed;
+    full.fingerprint = "bbbb";
+    full.line = 9;
+    full.tag = "t";
+    full.attempt = 3;
+    full.detail = "boom";
+    journal.append(full);
+  }
+  const std::string text = read_file(path);
+  const std::size_t newline = text.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string first = text.substr(0, newline);
+  EXPECT_EQ(first.find("\"line\""), std::string::npos);
+  EXPECT_EQ(first.find("\"tag\""), std::string::npos);
+  EXPECT_EQ(first.find("\"attempt\""), std::string::npos);
+  EXPECT_EQ(first.find("\"detail\""), std::string::npos);
+  EXPECT_NE(first.find("\"ts\""), std::string::npos);
+  const std::string second = text.substr(newline + 1);
+  EXPECT_NE(second.find("\"event\":\"failed\""), std::string::npos);
+  EXPECT_NE(second.find("\"attempt\":3"), std::string::npos);
+  EXPECT_NE(second.find("\"detail\":\"boom\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dabs::service

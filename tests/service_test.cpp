@@ -1,21 +1,28 @@
 // Tests for the batch solve service: scheduling, waiting, cancellation,
-// event logs, and the JSONL batch front end.
+// event logs, fault tolerance (retry/backoff, deadlines, admission
+// control, journal + resume, interrupts), and the JSONL batch front end.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/json_reader.hpp"
 #include "io/qubo_text.hpp"
 #include "service/batch_runner.hpp"
+#include "service/job_journal.hpp"
 #include "service/solver_service.hpp"
 #include "test_helpers.hpp"
+#include "util/failpoint.hpp"
 
 namespace dabs {
 namespace {
@@ -26,6 +33,15 @@ using service::JobSnapshot;
 using service::JobSpec;
 using service::JobState;
 using service::SolverService;
+
+/// Partial Config without tripping -Wmissing-field-initializers.
+SolverService::Config service_config(unsigned threads,
+                                     std::size_t max_events_per_job = 64) {
+  SolverService::Config config;
+  config.threads = threads;
+  config.max_events_per_job = max_events_per_job;
+  return config;
+}
 
 std::shared_ptr<const QuboModel> shared_model(std::uint64_t seed,
                                               std::size_t n = 48) {
@@ -104,7 +120,7 @@ TEST(SolverService, SubmitValidatesSpec) {
 }
 
 TEST(SolverService, HigherPriorityRunsFirst) {
-  SolverService svc({/*threads=*/1, 64, service::ModelCache::kDefaultMaxBytes});
+  SolverService svc(service_config(1));
   const auto model = shared_model(5);
 
   // Blocker keeps the single worker busy (or holds the queue head) while
@@ -144,7 +160,7 @@ TEST(SolverService, ExtremePrioritiesScheduleAndCancelCleanly) {
   // INT_MIN priority is reachable from JSONL input; ordering and the
   // queued-cancel erase path must handle the full int range without UB
   // (this runs under UBSan in CI).
-  SolverService svc({/*threads=*/1, 64, service::ModelCache::kDefaultMaxBytes});
+  SolverService svc(service_config(1));
   const auto model = shared_model(8);
   JobSpec lowest = budget_spec(model, "sa", 100, 1);
   lowest.priority = std::numeric_limits<int>::min();
@@ -163,7 +179,7 @@ TEST(SolverService, ExtremePrioritiesScheduleAndCancelCleanly) {
 TEST(SolverService, CancellationUnderLoad) {
   constexpr std::size_t kJobs = 16;
   const auto model = shared_model(9);
-  SolverService svc({/*threads=*/2, 64, service::ModelCache::kDefaultMaxBytes});
+  SolverService svc(service_config(2));
 
   std::vector<JobId> cancel_ids;
   std::vector<JobId> run_ids;
@@ -209,8 +225,7 @@ TEST(SolverService, DestructorCancelsOutstandingJobs) {
   const auto model = shared_model(2);
   std::vector<JobId> ids;
   {
-    SolverService svc({/*threads=*/1, 64,
-                       service::ModelCache::kDefaultMaxBytes});
+    SolverService svc(service_config(1));
     for (int i = 0; i < 4; ++i) {
       JobSpec spec = budget_spec(model, "sa", 0, i);
       spec.stop.time_limit_seconds = 30.0;
@@ -223,8 +238,7 @@ TEST(SolverService, DestructorCancelsOutstandingJobs) {
 }
 
 TEST(SolverService, EventLogIsBoundedAndChronological) {
-  SolverService svc({/*threads=*/1, /*max_events_per_job=*/4,
-                     service::ModelCache::kDefaultMaxBytes});
+  SolverService svc(service_config(1, 4));
   JobSpec spec = budget_spec(shared_model(4), "greedy-restart", 4000, 11);
   spec.tick_seconds = 1e-4;
   spec.tag = "evented";
@@ -264,7 +278,7 @@ TEST(SolverService, ReleaseDropsTerminalJobsAndTheirClaims) {
 }
 
 TEST(SolverService, ReleaseRefusesRunningJobs) {
-  SolverService svc({/*threads=*/1, 64, service::ModelCache::kDefaultMaxBytes});
+  SolverService svc(service_config(1));
   JobSpec spec = budget_spec(shared_model(2), "sa", 0, 1);
   spec.stop.time_limit_seconds = 30.0;
   spec.options.set("restarts", "1000000000");
@@ -296,6 +310,259 @@ TEST(SolverService, PoolMetricsSettleAtZero) {
   // The six equal models interned by the caller would have shared one
   // cache entry; here they bypassed the cache, so it stays empty.
   EXPECT_EQ(svc.cache().stats().entries, 0u);
+}
+
+// ---- Waiting contracts ---------------------------------------------------
+
+TEST(SolverService, WaitForTimesOutThenDelivers) {
+  SolverService svc(service_config(1));
+  JobSpec spec = budget_spec(shared_model(2), "sa", 0, 1);
+  spec.stop.time_limit_seconds = 30.0;
+  spec.options.set("restarts", "1000000000");
+  const JobId id = svc.submit(std::move(spec));
+
+  // Far from terminal: the timed wait must give up, not block.
+  EXPECT_EQ(svc.wait_for(id, 0.02), std::nullopt);
+  EXPECT_EQ(svc.wait_until(id, std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(20)),
+            std::nullopt);
+  EXPECT_FALSE(is_terminal(svc.state(id)));
+
+  EXPECT_TRUE(svc.cancel(id));
+  const std::optional<JobSnapshot> snap = svc.wait_for(id, 30.0);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kCancelled);
+  // Already-terminal waits return immediately.
+  EXPECT_TRUE(svc.wait_for(id, 0.0).has_value());
+}
+
+TEST(SolverService, WaitOnNeverSubmittedIdThrows) {
+  // Contract: an id the service never issued is out_of_range on every wait
+  // flavor, not a hang and not a default snapshot.
+  SolverService svc;
+  EXPECT_THROW(svc.wait(424242), std::out_of_range);
+  EXPECT_THROW(svc.wait_for(424242, 0.01), std::out_of_range);
+  EXPECT_THROW(
+      svc.wait_until(424242, std::chrono::steady_clock::now()),
+      std::out_of_range);
+  // wait_any_finished_for with nothing submitted: times out, no throw.
+  EXPECT_EQ(svc.wait_any_finished_for(0.01), std::nullopt);
+}
+
+TEST(SolverService, WaitAllRacesReleaseWithoutDeadlock) {
+  // Contract: wait_all() must terminate even while another thread strips
+  // finished jobs out from under it with release().
+  SolverService svc(service_config(2));
+  const auto model = shared_model(7);
+  constexpr int kJobs = 12;
+  for (int i = 0; i < kJobs; ++i) {
+    (void)svc.submit(budget_spec(model, "sa", 400, i));
+  }
+  std::thread releaser([&svc] {
+    int claimed = 0;
+    while (claimed < kJobs) {
+      if (const std::optional<JobId> id = svc.wait_any_finished()) {
+        EXPECT_TRUE(svc.release(*id));
+        ++claimed;
+      } else {
+        break;  // all remaining claims already delivered and released
+      }
+    }
+  });
+  svc.wait_all();
+  releaser.join();
+  EXPECT_EQ(svc.outstanding(), 0u);
+  // And a wait() on a released id reports out_of_range, not stale state.
+  EXPECT_THROW(svc.wait(1), std::out_of_range);
+}
+
+// ---- Retry / backoff -----------------------------------------------------
+
+TEST(SolverService, RetryBackoffDoublesCapsAndJitters) {
+  // Deterministic for a fixed (salt, failures); monotone doubling under
+  // the cap; jitter stays within [0.5, 1.0]x of the nominal value.
+  const double first = service::retry_backoff(0.1, 10.0, 1, 42);
+  EXPECT_EQ(first, service::retry_backoff(0.1, 10.0, 1, 42));
+  EXPECT_GE(first, 0.05);
+  EXPECT_LE(first, 0.1);
+  const double fourth = service::retry_backoff(0.1, 10.0, 4, 42);
+  EXPECT_GE(fourth, 0.4);   // 0.1 * 2^3 * 0.5
+  EXPECT_LE(fourth, 0.8);
+  const double capped = service::retry_backoff(0.1, 0.3, 10, 42);
+  EXPECT_LE(capped, 0.3);
+  EXPECT_GE(capped, 0.15);
+  // Distinct salts decorrelate distinct jobs' schedules.
+  EXPECT_NE(service::retry_backoff(0.1, 10.0, 3, 1),
+            service::retry_backoff(0.1, 10.0, 3, 2));
+}
+
+/// Clears failpoint state on scope exit so a failing assertion cannot leak
+/// an armed point into the next test.
+struct FailpointGuard {
+  ~FailpointGuard() { fail::clear(); }
+};
+
+TEST(SolverService, RetryableFaultRecoversWithinAttemptBudget) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("service.worker", "first:2,oom");  // fail, fail, pass
+  SolverService svc;
+  JobSpec spec = budget_spec(shared_model(3), "sa", 300, 5);
+  spec.max_attempts = 3;
+  spec.retry_backoff_seconds = 0.01;
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.report.extras.at("attempts"), "3");
+  EXPECT_EQ(snap.report.extras.at("disposition"), "retried");
+  EXPECT_EQ(fail::hits("service.worker"), 3u);
+}
+
+TEST(SolverService, RetryExhaustionFails) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("service.worker", "always,retryable");
+  SolverService svc;
+  JobSpec spec = budget_spec(shared_model(3), "sa", 300, 5);
+  spec.max_attempts = 2;
+  spec.retry_backoff_seconds = 0.01;
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.state, JobState::kFailed);
+  EXPECT_TRUE(fail::is_retryable_message(snap.error));
+  EXPECT_EQ(snap.report.extras.at("attempts"), "2");
+  EXPECT_EQ(snap.report.extras.at("disposition"), "failed");
+}
+
+TEST(SolverService, NonRetryableFaultFailsOnFirstAttempt) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("service.worker", "always");  // plain fault: no retry
+  SolverService svc;
+  JobSpec spec = budget_spec(shared_model(3), "sa", 300, 5);
+  spec.max_attempts = 5;
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.state, JobState::kFailed);
+  EXPECT_EQ(snap.report.extras.at("attempts"), "1");
+  EXPECT_EQ(fail::hits("service.worker"), 1u);
+}
+
+TEST(SolverService, QueuePushFailpointSurfacesAtSubmit) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("service.queue_push", "nth:2");
+  SolverService svc;
+  const JobId ok = svc.submit(budget_spec(shared_model(3), "sa", 200, 1));
+  EXPECT_THROW(svc.submit(budget_spec(shared_model(3), "sa", 200, 2)),
+               fail::InjectedFault);
+  EXPECT_EQ(svc.wait(ok).state, JobState::kDone);
+  EXPECT_EQ(svc.outstanding(), 0u);  // the failed submit left no ghost job
+}
+
+TEST(SolverService, CancelInterruptsRetryBackoff) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("service.worker", "always,retryable");
+  SolverService svc;
+  JobSpec spec = budget_spec(shared_model(3), "sa", 300, 5);
+  spec.max_attempts = 100;
+  spec.retry_backoff_seconds = 30.0;  // only cancellation can end this soon
+  spec.retry_backoff_max_seconds = 30.0;
+  const JobId id = svc.submit(std::move(spec));
+  // Give the first attempt time to fail and enter its backoff sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(svc.cancel(id));
+  const std::optional<JobSnapshot> snap = svc.wait_for(id, 10.0);
+  ASSERT_TRUE(snap.has_value()) << "cancel did not interrupt the backoff";
+  EXPECT_EQ(snap->state, JobState::kCancelled);
+}
+
+// ---- Deadlines -----------------------------------------------------------
+
+TEST(SolverService, DeadlineCancelsRunningJob) {
+  SolverService svc(service_config(1));
+  JobSpec spec = budget_spec(shared_model(2), "tabu", 0, 1);
+  spec.stop.time_limit_seconds = 30.0;
+  spec.options.set("iterations", "1000000000000");
+  spec.deadline_seconds = 0.15;
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.state, JobState::kCancelled);
+  EXPECT_TRUE(snap.report.cancelled);
+  EXPECT_EQ(snap.report.extras.at("deadline_exceeded"), "true");
+  EXPECT_EQ(snap.report.extras.at("disposition"), "deadline");
+}
+
+TEST(SolverService, DeadlineRetiresQueuedJob) {
+  SolverService svc(service_config(1));
+  const auto model = shared_model(2);
+  // The blocker owns the single worker; the probe's deadline expires while
+  // it is still queued, so the watchdog retires it without it ever running.
+  JobSpec blocker = budget_spec(model, "sa", 0, 1);
+  blocker.stop.time_limit_seconds = 30.0;
+  blocker.options.set("restarts", "1000000000");
+  const JobId blocker_id = svc.submit(std::move(blocker));
+  JobSpec probe = budget_spec(model, "sa", 200, 2);
+  probe.deadline_seconds = 0.1;
+  const JobId probe_id = svc.submit(std::move(probe));
+
+  const JobSnapshot snap = svc.wait(probe_id);
+  EXPECT_EQ(snap.state, JobState::kCancelled);
+  EXPECT_EQ(snap.report.extras.at("deadline_exceeded"), "true");
+  EXPECT_TRUE(snap.report.best_solution.empty());  // never ran
+
+  EXPECT_TRUE(svc.cancel(blocker_id));
+  svc.wait_all();
+}
+
+TEST(SolverService, DeadlineDoesNotTouchJobsThatFinishInTime) {
+  SolverService svc;
+  JobSpec spec = budget_spec(shared_model(2), "sa", 200, 1);
+  spec.deadline_seconds = 30.0;
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  EXPECT_EQ(snap.state, JobState::kDone);
+  EXPECT_EQ(snap.report.extras.count("deadline_exceeded"), 0u);
+}
+
+// ---- Admission control ---------------------------------------------------
+
+TEST(SolverService, AdmissionControlShedsOverCapacitySubmits) {
+  SolverService::Config config;
+  config.threads = 1;
+  config.max_queue_depth = 1;
+  SolverService svc(std::move(config));
+  const auto model = shared_model(2);
+
+  JobSpec blocker = budget_spec(model, "sa", 0, 1);
+  blocker.stop.time_limit_seconds = 30.0;
+  blocker.options.set("restarts", "1000000000");
+  const JobId blocker_id = svc.submit(std::move(blocker));
+  // Wait until the worker owns the blocker so the queue is observably
+  // empty — makes the admission decisions below deterministic.
+  while (svc.state(blocker_id) == JobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const JobId queued_id = svc.submit(budget_spec(model, "sa", 200, 2));
+  EXPECT_EQ(svc.state(queued_id), JobState::kQueued);
+  const JobId shed_id = svc.submit(budget_spec(model, "sa", 200, 3));
+  // Shed immediately: terminal at submit, with the reason recorded.
+  const JobSnapshot shed = svc.snapshot(shed_id);
+  EXPECT_EQ(shed.state, JobState::kRejected);
+  EXPECT_NE(shed.error.find("queue"), std::string::npos);
+  EXPECT_EQ(shed.report.extras.at("disposition"), "rejected");
+
+  EXPECT_TRUE(svc.cancel(blocker_id));
+  svc.wait_all();
+  // The rejected job flows through the completion stream exactly once.
+  std::set<JobId> finished;
+  while (const std::optional<JobId> id = svc.wait_any_finished()) {
+    EXPECT_TRUE(finished.insert(*id).second);
+  }
+  EXPECT_EQ(finished.count(shed_id), 1u);
+  EXPECT_EQ(svc.wait(queued_id).state, JobState::kDone);
 }
 
 // ---- JSONL front end -----------------------------------------------------
@@ -551,6 +818,306 @@ TEST(BatchRunner, ProblemJobsDecodeVerifyAndShareCache) {
   EXPECT_EQ(load_failed, 1);
   EXPECT_EQ(verified, 3);
   EXPECT_EQ(cache_hits, 1);  // the duplicated qap spec shares one model
+}
+
+// ---- Batch fault tolerance -----------------------------------------------
+
+namespace {
+
+/// Problem-keyed jobs (no files on disk) keep these tests hermetic.
+std::string small_batch_jobs(int count) {
+  std::ostringstream jobs;
+  for (int i = 0; i < count; ++i) {
+    jobs << R"({"problem": "maxcut", "params": {"n": 16, "m": 40, "seed": )"
+         << 100 + i << R"(}, "solver": "sa", "max_batches": 200, "seed": )"
+         << i << R"(, "tag": "ft)" << i << "\"}\n";
+  }
+  return jobs.str();
+}
+
+std::string fresh_journal_path(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+}  // namespace
+
+TEST(BatchRunner, FingerprintsAreStableAndOrderInsensitive) {
+  const BatchJob a = service::parse_batch_job(
+      R"({"problem": "maxcut", "params": {"n": 16, "m": 40}, "seed": 1,
+          "solver": "sa", "max_batches": 100})");
+  const BatchJob b = service::parse_batch_job(
+      R"({"max_batches": 100, "solver": "sa", "seed": 1,
+          "params": {"m": 40, "n": 16}, "problem": "maxcut"})");
+  EXPECT_EQ(service::job_fingerprint(a), service::job_fingerprint(b));
+  EXPECT_EQ(service::job_fingerprint(a).size(), 16u);
+
+  // Any identity field flips the digest.
+  BatchJob c = service::parse_batch_job(
+      R"({"problem": "maxcut", "params": {"n": 16, "m": 40}, "seed": 2,
+          "solver": "sa", "max_batches": 100})");
+  EXPECT_NE(service::job_fingerprint(a), service::job_fingerprint(c));
+}
+
+TEST(BatchRunner, JournalRecordsLifecycleAndResumeSkipsFinishedJobs) {
+  const std::string journal = fresh_journal_path("batch_resume.jsonl");
+  const std::string jobs = small_batch_jobs(4);
+
+  service::BatchOptions options;
+  options.threads = 2;
+  options.journal_path = journal;
+  {
+    std::istringstream in(jobs);
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(service::run_batch(in, out, err, options), 0);
+    std::istringstream lines(out.str());
+    std::string line;
+    int reports = 0;
+    while (std::getline(lines, line)) {
+      ++reports;
+      const io::JsonValue v = io::parse_json(line);
+      EXPECT_EQ(v.find("status")->as_string(), "done");
+      ASSERT_NE(v.find("fingerprint"), nullptr);
+    }
+    EXPECT_EQ(reports, 4);
+    EXPECT_NE(err.str().find("journal: "), std::string::npos);
+  }
+  // The journal saw every transition and every job ended terminal.
+  const service::JobJournal::Replay replay =
+      service::JobJournal::replay(journal);
+  EXPECT_EQ(replay.skipped, 0u);
+  EXPECT_EQ(replay.last_event.size(), 4u);
+  for (const auto& [fp, event] : replay.last_event) {
+    EXPECT_EQ(event, service::JournalEvent::kDone) << fp;
+  }
+
+  // Resume against the same jobs file: everything already terminal, so
+  // nothing re-runs and nothing is emitted twice.
+  options.resume = true;
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 0);
+  EXPECT_EQ(out.str(), "");
+  EXPECT_NE(err.str().find("resumed: 4 already terminal"),
+            std::string::npos);
+}
+
+TEST(BatchRunner, ResumeRerunsJobsWithoutTerminalRecords) {
+  // A journal that shows two submitted jobs but only one finished — the
+  // shape a kill -9 mid-batch leaves.  Resume re-runs exactly the other.
+  const std::string journal = fresh_journal_path("batch_partial.jsonl");
+  const std::string jobs = small_batch_jobs(2);
+
+  // First pass: learn both fingerprints by running the full batch.
+  service::BatchOptions options;
+  options.threads = 2;
+  options.journal_path = journal;
+  std::vector<std::string> fingerprints;
+  {
+    std::istringstream in(jobs);
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(service::run_batch(in, out, err, options), 0);
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      fingerprints.push_back(
+          io::parse_json(line).find("fingerprint")->as_string());
+    }
+  }
+  ASSERT_EQ(fingerprints.size(), 2u);
+
+  // Forge the crash journal: job 0 finished, job 1 only started.
+  std::remove(journal.c_str());
+  {
+    service::JobJournal forge(journal);
+    service::JournalRecord r;
+    r.fingerprint = fingerprints[0];
+    forge.append(r);
+    r.event = service::JournalEvent::kDone;
+    forge.append(r);
+    r.event = service::JournalEvent::kSubmitted;
+    r.fingerprint = fingerprints[1];
+    forge.append(r);
+    r.event = service::JournalEvent::kStarted;
+    forge.append(r);
+  }
+
+  options.resume = true;
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 0);
+  std::istringstream lines(out.str());
+  std::string line;
+  int reports = 0;
+  while (std::getline(lines, line)) {
+    ++reports;
+    EXPECT_EQ(io::parse_json(line).find("fingerprint")->as_string(),
+              fingerprints[1]);
+  }
+  EXPECT_EQ(reports, 1);
+}
+
+TEST(BatchRunner, JournalAppendFailureDegradesGracefully) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("journal.append", "always");
+  service::BatchOptions options;
+  options.threads = 2;
+  options.journal_path = fresh_journal_path("batch_degraded.jsonl");
+  std::istringstream in(small_batch_jobs(2));
+  std::ostringstream out;
+  std::ostringstream err;
+  // Durability is gone but the batch itself still completes cleanly.
+  EXPECT_EQ(service::run_batch(in, out, err, options), 0);
+  std::istringstream lines(out.str());
+  std::string line;
+  int done = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(io::parse_json(line).find("status")->as_string(), "done");
+    ++done;
+  }
+  EXPECT_EQ(done, 2);
+  EXPECT_NE(err.str().find("journal append failed"), std::string::npos);
+  EXPECT_NE(err.str().find("0 records"), std::string::npos);
+}
+
+TEST(BatchRunner, ModelLoadRetriesThroughInjectedFaults) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("batch.model_load", "first:2,retryable");
+  service::BatchOptions options;
+  options.threads = 1;
+  options.retry_backoff_seconds = 0.01;
+  std::istringstream in(small_batch_jobs(1));
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 0);
+  const io::JsonValue v = io::parse_json(out.str());
+  EXPECT_EQ(v.find("status")->as_string(), "done");
+  EXPECT_EQ(fail::hits("batch.model_load"), 3u);
+  EXPECT_NE(err.str().find("retries: 2 attempted, 1 recovered"),
+            std::string::npos);
+}
+
+TEST(BatchRunner, ModelLoadRetryExhaustionFailsTheLine) {
+  if (!fail::compiled_in()) GTEST_SKIP() << "DABS_FAILPOINTS=OFF";
+  FailpointGuard guard;
+  fail::configure("batch.model_load", "always,oom");
+  service::BatchOptions options;
+  options.threads = 1;
+  options.max_attempts = 2;
+  options.retry_backoff_seconds = 0.01;
+  std::istringstream in(small_batch_jobs(1));
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 1);
+  const io::JsonValue v = io::parse_json(out.str());
+  EXPECT_EQ(v.find("status")->as_string(), "failed");
+  EXPECT_EQ(v.find("attempts")->as_int(), 2);
+  EXPECT_EQ(fail::hits("batch.model_load"), 2u);
+}
+
+TEST(BatchRunner, DeadlineJobLineCancelsViaWatchdog) {
+  std::ostringstream jobs;
+  jobs << R"({"problem": "maxcut", "params": {"n": 16, "m": 40},)"
+       << R"( "solver": "tabu", "time_limit": 30, "deadline": 0.15})"
+       << "\n";
+  std::istringstream in(jobs.str());
+  std::ostringstream out;
+  std::ostringstream err;
+  service::BatchOptions options;
+  options.threads = 1;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 1);
+  const io::JsonValue v = io::parse_json(out.str());
+  EXPECT_EQ(v.find("status")->as_string(), "cancelled");
+  const io::JsonValue* extras = v.find("report")->find("extras");
+  ASSERT_NE(extras, nullptr);
+  EXPECT_EQ(extras->find("deadline_exceeded")->as_string(), "true");
+}
+
+TEST(BatchRunner, QueueLimitShedsAndReportsRejections) {
+  // One slow job owns the single worker; with the queue capped at one,
+  // at least two of the three followers must be shed.
+  std::ostringstream jobs;
+  jobs << R"({"problem": "maxcut", "params": {"n": 16, "m": 40},)"
+       << R"( "solver": "sa", "time_limit": 0.4, "tag": "slow"})" << "\n"
+       << small_batch_jobs(3);
+  std::istringstream in(jobs.str());
+  std::ostringstream out;
+  std::ostringstream err;
+  service::BatchOptions options;
+  options.threads = 1;
+  options.max_queue_depth = 1;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 1);
+  std::istringstream lines(out.str());
+  std::string line;
+  int done = 0;
+  int rejected = 0;
+  while (std::getline(lines, line)) {
+    const io::JsonValue v = io::parse_json(line);
+    const std::string status = v.find("status")->as_string();
+    if (status == "rejected") {
+      ++rejected;
+      EXPECT_NE(v.find("error"), nullptr);
+    } else {
+      EXPECT_EQ(status, "done");
+      ++done;
+    }
+  }
+  EXPECT_EQ(done + rejected, 4);
+  EXPECT_GE(rejected, 2);
+  EXPECT_NE(err.str().find(std::to_string(rejected) + " rejected"),
+            std::string::npos);
+}
+
+TEST(BatchRunner, InterruptFlagStopsIntakeCancelsAndReturns130) {
+  // Long jobs, interrupt raised shortly after the batch starts: every
+  // submitted job still gets exactly one (cancelled) report line and the
+  // exit code is 130, the shell convention for killed-by-SIGINT.
+  std::ostringstream jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs << R"({"problem": "maxcut", "params": {"n": 16, "m": 40},)"
+         << R"( "solver": "tabu", "time_limit": 30, "seed": )" << i << "}\n";
+  }
+  std::atomic<bool> interrupt{false};
+  std::thread trigger([&interrupt] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    interrupt.store(true);
+  });
+  std::istringstream in(jobs.str());
+  std::ostringstream out;
+  std::ostringstream err;
+  service::BatchOptions options;
+  options.threads = 2;
+  options.interrupt = &interrupt;
+  const int exit_code = service::run_batch(in, out, err, options);
+  trigger.join();
+  EXPECT_EQ(exit_code, 130);
+  std::istringstream lines(out.str());
+  std::string line;
+  int cancelled = 0;
+  while (std::getline(lines, line)) {
+    const io::JsonValue v = io::parse_json(line);
+    if (v.find("status")->as_string() == "cancelled") ++cancelled;
+  }
+  EXPECT_GE(cancelled, 1);
+  EXPECT_NE(err.str().find("interrupted"), std::string::npos);
+}
+
+TEST(BatchRunner, PreRaisedInterruptRunsNothing) {
+  std::atomic<bool> interrupt{true};
+  std::istringstream in(small_batch_jobs(3));
+  std::ostringstream out;
+  std::ostringstream err;
+  service::BatchOptions options;
+  options.interrupt = &interrupt;
+  EXPECT_EQ(service::run_batch(in, out, err, options), 130);
+  EXPECT_EQ(out.str(), "");
 }
 
 }  // namespace
