@@ -3,9 +3,17 @@
 // and the model-cache fast paths every batch request crosses.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "net/http_client.hpp"
+#include "net/job_api.hpp"
+#include "net/shard_router.hpp"
+#include "net/solve_server.hpp"
 #include "qubo/qubo_builder.hpp"
 #include "rng/xorshift.hpp"
 #include "service/model_cache.hpp"
@@ -86,6 +94,154 @@ void BM_ModelCacheKeyHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelCacheKeyHit);
+
+// ---------------------------------------------------------------------------
+// HTTP solve server: the same pipeline through SolveServer + the wire.
+
+/// One running solve server, single-process or internally sharded, plus
+/// the client plumbing to drive it.  Shards > 1 forks workers, so the
+/// group is constructed before any thread exists in this scope (same
+/// fork-before-threads ordering dabs_cli serve uses).
+class BenchServer {
+ public:
+  explicit BenchServer(std::size_t shards, std::size_t total_workers = 2) {
+    net::JobApi::Config api;
+    api.threads = std::max<std::size_t>(1, total_workers / shards);
+    api.max_events_per_job = 16;
+    if (shards > 1) {
+      group_ = std::make_unique<net::ShardGroup>(api, shards);
+      backend_ = std::make_unique<net::ShardBackend>(*group_);
+    } else {
+      backend_ = std::make_unique<net::JobApi>(api);
+    }
+    net::SolveServer::Config config;
+    config.http.port = 0;
+    config.http.stream_poll_seconds = 0.001;
+    server_ = std::make_unique<net::SolveServer>(config, *backend_);
+    thread_ = std::thread([this] { server_->run(); });
+  }
+  ~BenchServer() {
+    server_->stop();
+    thread_.join();
+  }
+  std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<net::ShardGroup> group_;  // forked before any thread
+  std::unique_ptr<net::JobBackend> backend_;
+  std::unique_ptr<net::SolveServer> server_;
+  std::thread thread_;
+};
+
+std::string bench_job(std::uint64_t seed) {
+  // Distinct seeds spread the consistent-hash ring across shards.
+  return R"({"problem": "maxcut", "params": {"n": 32, "m": 120, "seed": )" +
+         std::to_string(seed) +
+         R"(}, "solver": "sa", "max_batches": 500, "seed": )" +
+         std::to_string(seed) + "}";
+}
+
+std::uint64_t submitted_id(const net::HttpClient::Response& resp) {
+  const std::size_t at = resp.body.find("\"job_id\":");
+  return std::stoull(resp.body.substr(at + 9));
+}
+
+bool is_terminal(const std::string& status_body) {
+  return status_body.find("\"state\":\"queued\"") == std::string::npos &&
+         status_body.find("\"state\":\"running\"") == std::string::npos;
+}
+
+/// Sustained jobs/second through the HTTP server: batches of short solve
+/// jobs submitted and polled to completion over one keep-alive connection.
+/// Arg = shard count (1 = in-process JobApi, >1 = forked shard workers);
+/// total solver threads are held constant so the numbers compare the
+/// topology, not the core count.
+void BM_HttpServerJobThroughput(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  BenchServer server(shards);
+  net::HttpClient client("127.0.0.1", server.port());
+
+  constexpr int kJobsPerIter = 32;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kJobsPerIter);
+    for (int i = 0; i < kJobsPerIter; ++i) {
+      ids.push_back(submitted_id(
+          client.request("POST", "/v1/jobs", bench_job(++seed))));
+    }
+    for (const std::uint64_t id : ids) {
+      for (;;) {
+        const auto status =
+            client.request("GET", "/v1/jobs/" + std::to_string(id));
+        if (is_terminal(status.body)) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kJobsPerIter);
+  state.SetLabel(shards == 1 ? "1 process" : std::to_string(shards) +
+                                                 " forked shards");
+}
+BENCHMARK(BM_HttpServerJobThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()  // the work happens on server threads / forked workers
+    ->Unit(benchmark::kMillisecond);
+
+/// Submit -> first solver tick latency over HTTP: time from POST /v1/jobs
+/// to the first event observed on the chunked events stream.  Reported as
+/// p50/p99 counters (seconds) across the benchmark's iterations.
+void BM_HttpSubmitToFirstTick(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  BenchServer server(shards);
+  net::HttpClient submit_client("127.0.0.1", server.port());
+
+  std::vector<double> samples;
+  std::uint64_t seed = 1000000;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t id = submitted_id(
+        submit_client.request("POST", "/v1/jobs", bench_job(++seed)));
+    // Follow the events stream until the first event page; abandoning the
+    // chunked stream closes the connection, so each sample reconnects.
+    net::HttpClient streamer("127.0.0.1", server.port());
+    double elapsed = 0.0;
+    (void)streamer.stream(
+        "GET", "/v1/jobs/" + std::to_string(id) + "/events",
+        [&](const std::string& chunk) {
+          if (chunk.find("\"kind\":") == std::string::npos) return true;
+          elapsed = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+          return false;  // first tick seen; abandon the stream
+        });
+    samples.push_back(elapsed);
+    // Drain the job so queue depth stays flat across samples.
+    for (;;) {
+      const auto status =
+          submit_client.request("GET", "/v1/jobs/" + std::to_string(id));
+      if (is_terminal(status.body)) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto percentile = [&samples](double p) {
+    const std::size_t at = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+    return samples[at];
+  };
+  state.counters["p50_submit_to_first_tick_s"] = percentile(0.50);
+  state.counters["p99_submit_to_first_tick_s"] = percentile(0.99);
+  state.SetLabel(shards == 1 ? "1 process" : std::to_string(shards) +
+                                                 " forked shards");
+}
+BENCHMARK(BM_HttpSubmitToFirstTick)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace dabs

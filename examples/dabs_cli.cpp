@@ -39,6 +39,9 @@
 #include "core/solver_registry.hpp"
 #include "io/json_writer.hpp"
 #include "io/solution_io.hpp"
+#include "net/net_util.hpp"
+#include "net/shard_router.hpp"
+#include "net/solve_server.hpp"
 #include "problems/problem_registry.hpp"
 #include "qubo/model_info.hpp"
 #include "service/batch_runner.hpp"
@@ -52,6 +55,8 @@ void usage(const std::string& prog) {
       << "       " << prog << " --problem <name[:path]> [options]\n"
       << "       " << prog << " batch <jobs.jsonl> [--jobs <n>] "
          "[--journal <path> [--resume]]\n"
+      << "       " << prog << " serve [--port <p>] [--shards <n> | "
+         "--shard-of <k>/<n>]\n"
       << "  --list-solvers              print the solver registry and exit\n"
       << "  --list-problems             print the problem registry and exit\n"
       << "  --problem <name[:path]>     solve a registered problem instead "
@@ -104,7 +109,23 @@ void usage(const std::string& prog) {
          "(default: unbounded)\n"
       << "(SIGINT/SIGTERM cancel outstanding jobs, flush journal + earned "
          "reports,\n"
-      << " print the summary, and exit 130)\n";
+      << " print the summary, and exit 130)\n"
+      << "serve options (HTTP solve API; see README \"HTTP server\"):\n"
+      << "  --port <p>                  listen port (0 = ephemeral; default "
+         "8080)\n"
+      << "  --host <addr>               bind address (default 127.0.0.1)\n"
+      << "  --jobs/--cache-mb/--time-limit/--attempts/--queue-limit/\n"
+      << "  --journal/--resume          as for batch, per shard\n"
+      << "  --shards <n>                fork <n> shard workers behind this "
+         "server,\n"
+      << "                              routed by consistent hash of the "
+         "model key\n"
+      << "  --shard-of <k>/<n>          serve shard k of an externally "
+         "balanced\n"
+      << "                              group (misrouted requests get 421)\n"
+      << "(SIGINT/SIGTERM stop the server gracefully; with --journal, "
+         "restart with\n"
+      << " --resume to re-enqueue jobs that never finished)\n";
 }
 
 void list_solvers() {
@@ -202,6 +223,97 @@ int run_batch_command(const dabs::ArgParser& args) {
   return dabs::service::run_batch(in, std::cout, std::cerr, opts);
 }
 
+/// `dabs_cli serve`: the HTTP solve API over a local JobApi, a forked
+/// shard group (--shards), or one slice of an external group (--shard-of).
+int run_serve_command(const dabs::ArgParser& args) {
+  const std::int64_t port = args.get_int("port", 8080);
+  const std::string host = args.get("host").value_or("127.0.0.1");
+  const std::int64_t jobs = args.get_int("jobs", 2);
+  const std::int64_t cache_mb = args.get_int("cache-mb", 256);
+  const double time_limit = args.get_double("time-limit", 5.0);
+  const std::int64_t attempts = args.get_int("attempts", 3);
+  const std::int64_t queue_limit = args.get_int("queue-limit", 0);
+  const std::int64_t shards = args.get_int("shards", 1);
+  const auto shard_of = args.get("shard-of");
+  if (port < 0 || port > 65535 || jobs < 1 || cache_mb < 0 ||
+      time_limit < 0 || attempts < 1 || attempts > 100 || queue_limit < 0 ||
+      shards < 1) {
+    std::cerr << "serve: option out of range (see --help)\n";
+    return 2;
+  }
+  if (shard_of && shards > 1) {
+    std::cerr << "serve: --shards and --shard-of are mutually exclusive\n";
+    return 2;
+  }
+
+  dabs::net::JobApi::Config api;
+  api.threads = static_cast<std::size_t>(jobs);
+  api.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  api.max_queue_depth = static_cast<std::size_t>(queue_limit);
+  api.default_time_limit = time_limit;
+  api.max_attempts = static_cast<std::uint32_t>(attempts);
+  api.journal_path = args.get("journal").value_or("");
+  api.resume = args.get_bool("resume");
+  if (api.resume && api.journal_path.empty()) {
+    std::cerr << "--resume requires --journal <path>\n";
+    return 2;
+  }
+
+  dabs::net::SolveServer::Config config;
+  config.http.host = host;
+  config.http.port = static_cast<std::uint16_t>(port);
+
+  if (shard_of) {
+    // "k/n": this process is shard k of an externally balanced group.
+    const std::size_t slash = shard_of->find('/');
+    std::size_t k = 0;
+    std::size_t n = 0;
+    try {
+      if (slash == std::string::npos) throw std::invalid_argument("");
+      k = std::stoul(shard_of->substr(0, slash));
+      n = std::stoul(shard_of->substr(slash + 1));
+    } catch (const std::exception&) {
+      n = 0;
+    }
+    if (n < 1 || k >= n) {
+      std::cerr << "serve: --shard-of wants <k>/<n> with k < n\n";
+      return 2;
+    }
+    api.shard_idx = k;
+    api.shards = n;
+    config.shard_of_idx = k;
+    config.shard_of_total = n;
+  }
+  for (const std::string& name : args.unused()) {
+    std::cerr << "warning: unknown option --" << name << "\n";
+  }
+
+  std::signal(SIGINT, on_batch_signal);
+  std::signal(SIGTERM, on_batch_signal);
+
+  // Sharded topology forks the workers FIRST: fork() and threads do not
+  // mix, and both the JobApi (service pool, reaper) and the journal come
+  // alive per worker, on the worker's side of the fork.
+  std::unique_ptr<dabs::net::ShardGroup> group;
+  std::unique_ptr<dabs::net::JobBackend> backend;
+  if (shards > 1) {
+    group = std::make_unique<dabs::net::ShardGroup>(
+        api, static_cast<std::size_t>(shards));
+    backend = std::make_unique<dabs::net::ShardBackend>(*group);
+  } else {
+    backend = std::make_unique<dabs::net::JobApi>(api);
+  }
+
+  dabs::net::SolveServer server(config, *backend);
+  std::cerr << "dabs-serve: listening on " << host << ":" << server.port();
+  if (shards > 1) std::cerr << " (" << shards << " shards)";
+  if (shard_of) std::cerr << " (shard " << *shard_of << ")";
+  std::cerr << "\n";
+  server.run(&g_batch_interrupted);
+  std::cerr << "dabs-serve: shutting down\n";
+  return 0;
+}
+
 /// Splits "k=v,k2=v2" --opt payloads into the options map.
 void parse_opts(const std::string& spec, dabs::SolverOptions& opts) {
   std::size_t start = 0;
@@ -224,6 +336,10 @@ void parse_opts(const std::string& spec, dabs::SolverOptions& opts) {
 
 int main(int argc, char** argv) {
   using namespace dabs;
+  // Process-wide: every socket/stdout write path (batch report stream,
+  // HTTP server, shard RPC) sees a dead peer as EPIPE, never as a
+  // process-killing signal.
+  net::ignore_sigpipe();
   const ArgParser args(argc, argv);
   try {
     if (args.get_bool("list-solvers")) {
@@ -245,6 +361,10 @@ int main(int argc, char** argv) {
                 << " batch <jobs.jsonl> (to solve a model file named "
                    "'batch', use ./batch)\n";
       return 2;
+    }
+    if (args.positional().size() == 1 && args.positional()[0] == "serve" &&
+        !args.get_bool("help")) {
+      return run_serve_command(args);
     }
     const bool problem_run = args.has("problem");
     if (args.positional().size() != (problem_run ? 0u : 1u) ||

@@ -1,0 +1,177 @@
+#include "net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <stdexcept>
+
+namespace dabs::net {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw std::runtime_error("socket(): " + errno_string());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("unusable host '" + host + "'");
+  }
+  if (::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw std::runtime_error("connect(" + host + ":" + std::to_string(port) +
+                             "): " + errno_string());
+  }
+  const int one = 1;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::size_t HttpClient::read_until(const std::string& token) {
+  for (;;) {
+    const std::size_t pos = buffer_.find(token);
+    if (pos != std::string::npos) return pos;
+    char buf[8 << 10];
+    const long n = read_some(fd_.get(), buf, sizeof buf);
+    if (n < 0 && errno == EAGAIN) continue;  // fd is blocking; paranoia
+    if (n <= 0) {
+      fd_.reset();
+      throw std::runtime_error("connection closed mid-response");
+    }
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void HttpClient::need(std::size_t bytes) {
+  while (buffer_.size() < bytes) {
+    char buf[8 << 10];
+    const long n = read_some(fd_.get(), buf, sizeof buf);
+    if (n < 0 && errno == EAGAIN) continue;
+    if (n <= 0) {
+      fd_.reset();
+      throw std::runtime_error("connection closed mid-response");
+    }
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+HttpClient::Response HttpClient::request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  return round_trip(method, target, body, content_type, nullptr);
+}
+
+HttpClient::Response HttpClient::stream(
+    const std::string& method, const std::string& target,
+    const std::function<bool(const std::string&)>& on_chunk) {
+  return round_trip(method, target, "", "application/json", &on_chunk);
+}
+
+HttpClient::Response HttpClient::round_trip(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type,
+    const std::function<bool(const std::string&)>* on_chunk) {
+  if (!fd_.valid()) throw std::runtime_error("client is disconnected");
+
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    req += "Content-Type: " + content_type + "\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n";
+  req += body;
+  if (!write_all(fd_.get(), req.data(), req.size())) {
+    fd_.reset();
+    throw std::runtime_error("request write failed: " + errno_string());
+  }
+
+  // Head.
+  const std::size_t head_end = read_until("\r\n\r\n");
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  Response response;
+  const std::size_t line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) {
+    throw std::runtime_error("malformed status line '" + status_line + "'");
+  }
+  response.status = std::stoi(status_line.substr(sp1 + 1));
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string field = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = field.substr(colon + 1);
+    const std::size_t first = value.find_first_not_of(" \t");
+    value = first == std::string::npos ? "" : value.substr(first);
+    response.headers[lowercase(field.substr(0, colon))] = value;
+  }
+
+  const bool close_after =
+      lowercase(response.headers["connection"]) == "close";
+
+  if (lowercase(response.headers["transfer-encoding"]) == "chunked") {
+    // Decode chunks until the zero-size terminator.
+    for (;;) {
+      const std::size_t size_end = read_until("\r\n");
+      const std::string size_line = buffer_.substr(0, size_end);
+      buffer_.erase(0, size_end + 2);
+      const std::size_t size = std::stoul(size_line, nullptr, 16);
+      if (size == 0) {
+        const std::size_t trailer_end = read_until("\r\n");
+        buffer_.erase(0, trailer_end + 2);
+        break;
+      }
+      need(size + 2);
+      const std::string chunk = buffer_.substr(0, size);
+      buffer_.erase(0, size + 2);  // chunk + CRLF
+      if (on_chunk != nullptr) {
+        if (!(*on_chunk)(chunk)) {
+          fd_.reset();  // abandoning mid-stream loses framing
+          return response;
+        }
+      } else {
+        response.body += chunk;
+      }
+    }
+  } else {
+    const auto cl = response.headers.find("content-length");
+    const std::size_t size =
+        cl == response.headers.end() ? 0 : std::stoul(cl->second);
+    need(size);
+    response.body = buffer_.substr(0, size);
+    buffer_.erase(0, size);
+    if (on_chunk != nullptr && !response.body.empty()) {
+      (void)(*on_chunk)(response.body);
+      response.body.clear();
+    }
+  }
+
+  if (close_after) fd_.reset();
+  return response;
+}
+
+}  // namespace dabs::net

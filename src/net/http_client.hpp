@@ -1,0 +1,59 @@
+// Minimal blocking HTTP/1.1 client for the repo's own tooling: unit tests,
+// bench_micro_service, and the soak script drive the embedded server with
+// it (no libcurl dependency).  Keep-alive aware, Content-Length and
+// chunked response bodies, nothing else — this is a test harness, not a
+// general client.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/net_util.hpp"
+
+namespace dabs::net {
+
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::map<std::string, std::string> headers;  // names lowercased
+    std::string body;
+  };
+
+  /// Connects immediately; throws std::runtime_error on failure.
+  HttpClient(const std::string& host, std::uint16_t port);
+
+  /// One request/response round trip on the persistent connection.
+  /// Throws std::runtime_error when the connection broke mid-exchange.
+  Response request(const std::string& method, const std::string& target,
+                   const std::string& body = "",
+                   const std::string& content_type = "application/json");
+
+  /// Like request(), but delivers a chunked response incrementally:
+  /// on_chunk is called per decoded chunk; return false to abandon the
+  /// stream (the connection is closed — chunked framing cannot be
+  /// resynchronized mid-stream).  Non-chunked responses arrive as one
+  /// callback.  The returned Response carries status/headers, empty body.
+  Response stream(const std::string& method, const std::string& target,
+                  const std::function<bool(const std::string&)>& on_chunk);
+
+  bool connected() const noexcept { return fd_.valid(); }
+
+ private:
+  Response round_trip(const std::string& method, const std::string& target,
+                      const std::string& body,
+                      const std::string& content_type,
+                      const std::function<bool(const std::string&)>* on_chunk);
+  /// Reads until `token` is present in buffer_; throws on EOF/error.
+  std::size_t read_until(const std::string& token);
+  void need(std::size_t bytes);
+
+  std::string host_;
+  std::uint16_t port_;
+  UniqueFd fd_;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace dabs::net

@@ -1,0 +1,158 @@
+#include "net/http_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dabs::net {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t first = 0;
+  std::size_t last = s.size();
+  while (first < last && (s[first] == ' ' || s[first] == '\t')) ++first;
+  while (last > first && (s[last - 1] == ' ' || s[last - 1] == '\t')) --last;
+  return s.substr(first, last - first);
+}
+
+/// Strict non-negative decimal parse for Content-Length (leading junk,
+/// signs, and overflow all rejected — a smuggling-shaped header must not
+/// silently truncate).
+bool parse_content_length(const std::string& text, std::size_t* out) {
+  if (text.empty() || text.size() > 12) return false;  // 4 TiB is past any bound
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string& HttpRequest::header(
+    const std::string& lowercase_name) const {
+  const auto it = headers.find(lowercase_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+HttpRequestParser::HttpRequestParser(Limits limits) : limits_(limits) {}
+
+void HttpRequestParser::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+HttpRequestParser::Status HttpRequestParser::fail(int status,
+                                                  std::string message) {
+  failed_ = true;
+  error_status_ = status;
+  error_ = std::move(message);
+  return Status::kError;
+}
+
+HttpRequestParser::Status HttpRequestParser::poll(HttpRequest& out) {
+  if (failed_) return Status::kError;
+
+  // Head = request line + headers, terminated by a blank line.
+  const std::size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return fail(431, "request header exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return Status::kNeedMore;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    return fail(431, "request header exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  HttpRequest req;
+
+  // Request line: METHOD SP request-target SP HTTP-version.
+  const std::size_t line_end = buffer_.find("\r\n");
+  const std::string line = buffer_.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return fail(400, "malformed request line");
+  }
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+    return fail(400, "malformed request line");
+  }
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version '" + req.version + "'");
+  }
+  const std::size_t qmark = req.target.find('?');
+  req.path = req.target.substr(0, qmark);
+  req.query =
+      qmark == std::string::npos ? "" : req.target.substr(qmark + 1);
+
+  // Header fields.
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const std::size_t eol = buffer_.find("\r\n", pos);
+    const std::string field = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail(400, "malformed header field");
+    }
+    // Whitespace before the colon is a smuggling vector (RFC 9112 §5.1).
+    if (field[colon - 1] == ' ' || field[colon - 1] == '\t') {
+      return fail(400, "whitespace before header colon");
+    }
+    req.headers[lowercase(field.substr(0, colon))] =
+        trim(field.substr(colon + 1));
+  }
+
+  // Body framing: Content-Length only.
+  if (req.headers.count("transfer-encoding") != 0) {
+    return fail(501, "chunked request bodies are not supported "
+                     "(send Content-Length)");
+  }
+  std::size_t content_length = 0;
+  const auto cl = req.headers.find("content-length");
+  if (cl != req.headers.end() &&
+      !parse_content_length(cl->second, &content_length)) {
+    return fail(400, "malformed Content-Length");
+  }
+  if (content_length > limits_.max_body_bytes) {
+    return fail(413, "request body exceeds " +
+                         std::to_string(limits_.max_body_bytes) + " bytes");
+  }
+
+  const std::size_t body_start = head_end + 4;
+  if (buffer_.size() - body_start < content_length) {
+    return Status::kNeedMore;  // body still arriving
+  }
+
+  // Keep-alive: HTTP/1.1 defaults on, HTTP/1.0 off; Connection overrides.
+  const std::string connection = lowercase(req.header("connection"));
+  if (req.version == "HTTP/1.0") {
+    req.keep_alive = connection == "keep-alive";
+  } else {
+    req.keep_alive = connection != "close";
+  }
+
+  req.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  out = std::move(req);
+  return Status::kReady;
+}
+
+}  // namespace dabs::net

@@ -1,0 +1,85 @@
+// Incremental HTTP/1.1 request parser for the embedded solve server.
+//
+// Feed raw socket bytes in as they arrive; poll() yields one complete
+// request at a time (pipelined requests queue in the buffer and come out
+// on subsequent polls).  Scope is exactly what the solve API needs:
+//
+//   - request line + headers + optional Content-Length body
+//   - keep-alive semantics (HTTP/1.1 default-on, HTTP/1.0 default-off,
+//     "Connection: close/keep-alive" overrides)
+//   - bounded header and body sizes (oversize input is an error with the
+//     right status code, never unbounded buffering)
+//
+// Chunked *request* bodies are rejected with 501 — every client this
+// server is built for (curl, the repo's HttpClient, load balancers) sends
+// Content-Length.  Chunked responses are the server's side and live in
+// http_server.cpp.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace dabs::net {
+
+struct HttpRequest {
+  std::string method;  // uppercase as received ("GET", "POST", ...)
+  std::string target;  // raw request-target ("/v1/jobs/7?x=1")
+  std::string path;    // target up to '?' ("/v1/jobs/7")
+  std::string query;   // after '?', possibly empty
+  std::string version;  // "HTTP/1.1"
+  /// Header fields, names lowercased (values verbatim, surrounding
+  /// whitespace trimmed).  Duplicate names keep the last value — fine for
+  /// everything this API reads.
+  std::map<std::string, std::string> headers;
+  std::string body;
+  /// Whether the connection should stay open after the response.
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup (name given lowercase); "" if absent.
+  const std::string& header(const std::string& lowercase_name) const;
+};
+
+class HttpRequestParser {
+ public:
+  struct Limits {
+    std::size_t max_header_bytes = std::size_t{16} << 10;
+    std::size_t max_body_bytes = std::size_t{4} << 20;
+  };
+
+  enum class Status {
+    kNeedMore,  // no complete request buffered yet
+    kReady,     // `out` holds one complete request
+    kError,     // protocol violation; see error_status()/error()
+  };
+
+  HttpRequestParser() : HttpRequestParser(Limits{}) {}
+  explicit HttpRequestParser(Limits limits);
+
+  /// Appends raw bytes from the socket.
+  void feed(const char* data, std::size_t size);
+
+  /// Tries to extract the next complete request.  After kReady the
+  /// parser has consumed that request's bytes and is ready for the next
+  /// (pipelining).  After kError the connection is unrecoverable — the
+  /// byte stream's framing is lost; respond and close.
+  Status poll(HttpRequest& out);
+
+  /// For kError: the HTTP status to answer with (400, 413, 431, 501).
+  int error_status() const noexcept { return error_status_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  Status fail(int status, std::string message);
+
+  Limits limits_;
+  std::string buffer_;
+  int error_status_ = 0;
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace dabs::net

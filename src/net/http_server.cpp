@@ -1,0 +1,378 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "io/json_writer.hpp"
+#include "util/failpoint.hpp"
+
+namespace dabs::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Stop pulling stream chunks once this much output is buffered; the
+/// socket drains it first (bounds per-connection memory against a slow
+/// reader).
+constexpr std::size_t kOutputHighWater = std::size_t{64} << 10;
+
+std::string format_chunk(const std::string& data) {
+  char size_line[32];
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
+  std::string out(size_line);
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace
+
+const char* http_status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 421: return "Misdirected Request";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Per-connection state.  `out` accumulates fully formatted response
+/// bytes; `out_off` marks how much of it the socket already took.
+struct HttpServer::Connection {
+  explicit Connection(int fd, HttpRequestParser::Limits limits)
+      : fd(fd), parser(limits), last_active(Clock::now()) {}
+
+  UniqueFd fd;
+  HttpRequestParser parser;
+  std::string out;
+  std::size_t out_off = 0;
+  std::unique_ptr<ChunkSource> stream;
+  /// Whether to keep the connection after the in-flight response.
+  bool keep_alive = true;
+  /// Protocol framing is lost (parse error) — close once out drains.
+  bool close_after_write = false;
+  /// Peer sent EOF; serve what is buffered, then close.
+  bool read_closed = false;
+  Clock::time_point last_active;
+
+  bool has_pending_output() const noexcept {
+    return out_off < out.size() || stream != nullptr;
+  }
+};
+
+HttpServer::HttpServer(Config config, HttpHandler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  listener_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener_.valid()) {
+    throw std::runtime_error("socket(): " + errno_string());
+  }
+  const int one = 1;
+  ::setsockopt(listener_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("unusable listen address '" + config_.host +
+                             "' (IPv4 dotted quad expected)");
+  }
+  if (::bind(listener_.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw std::runtime_error("bind(" + config_.host + ":" +
+                             std::to_string(config_.port) +
+                             "): " + errno_string());
+  }
+  if (::listen(listener_.get(), 128) != 0) {
+    throw std::runtime_error("listen(): " + errno_string());
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listener_.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    throw std::runtime_error("getsockname(): " + errno_string());
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listener_.get());
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("pipe(): " + errno_string());
+  }
+  wake_read_.reset(pipe_fds[0]);
+  wake_write_.reset(pipe_fds[1]);
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+}
+
+HttpServer::~HttpServer() = default;
+
+void HttpServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 'x';
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      ++counters_.accept_faults;  // transient (EMFILE, ECONNABORTED, ...)
+      return;
+    }
+    // Injected accept fault: the connection is dropped on the floor and
+    // the server keeps listening — the failure mode of a transient
+    // fd-table / conntrack error.
+    try {
+      fail::point("net.accept");
+    } catch (const std::exception&) {
+      ++counters_.accept_faults;
+      ::close(fd);
+      continue;
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ++counters_.connections_rejected;
+      ::close(fd);  // shedding: no spare resources to even write a 503
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ++counters_.connections_accepted;
+    connections_.emplace(
+        fd, std::make_unique<Connection>(
+                fd, HttpRequestParser::Limits{config_.max_header_bytes,
+                                              config_.max_body_bytes}));
+  }
+}
+
+void HttpServer::queue_response(Connection& conn,
+                                const HttpResponse& response, bool chunked,
+                                bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     http_status_text(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  if (chunked) {
+    head += "Transfer-Encoding: chunked\r\n";
+  } else {
+    head += "Content-Length: " + std::to_string(response.body.size()) +
+            "\r\n";
+  }
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  conn.out += head;
+  if (!chunked) conn.out += response.body;
+  conn.keep_alive = keep_alive;
+}
+
+void HttpServer::dispatch(Connection& conn, const HttpRequest& request) {
+  ++counters_.requests;
+  HttpResult result;
+  try {
+    result = handler_(request);
+  } catch (const std::exception& e) {
+    ++counters_.handler_errors;
+    result.stream.reset();
+    result.response =
+        HttpResponse{500, "application/json",
+                     "{\"error\": \"" + io::JsonWriter::escape(e.what()) +
+                         "\"}",
+                     {}};
+  }
+  const bool chunked = result.stream != nullptr;
+  queue_response(conn, result.response, chunked,
+                 request.keep_alive && !conn.close_after_write);
+  if (chunked) conn.stream = std::move(result.stream);
+}
+
+bool HttpServer::pump_stream(Connection& conn) {
+  while (conn.stream && conn.out.size() - conn.out_off < kOutputHighWater) {
+    std::string chunk;
+    const ChunkSource::Next next = conn.stream->next(chunk);
+    if (next == ChunkSource::Next::kChunk) {
+      if (!chunk.empty()) conn.out += format_chunk(chunk);
+      continue;
+    }
+    if (next == ChunkSource::Next::kDone) {
+      conn.out += "0\r\n\r\n";
+      conn.stream.reset();
+      return true;
+    }
+    return false;  // kIdle: poll again after stream_poll_seconds
+  }
+  return false;
+}
+
+bool HttpServer::flush_output(Connection& conn) {
+  for (;;) {
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+      if (conn.stream) {
+        pump_stream(conn);
+        if (conn.out.empty()) return true;  // stream idle right now
+        continue;  // new chunks buffered: fall through to the write
+      }
+      return true;
+    }
+    // Injected write fault: this connection behaves as if the peer
+    // vanished mid-response; the server itself keeps serving.
+    try {
+      fail::point("net.write");
+    } catch (const std::exception&) {
+      ++counters_.write_errors;
+      return false;
+    }
+    const long n = write_some(conn.fd.get(), conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (n < 0) {
+      ++counters_.write_errors;  // EPIPE / ECONNRESET: peer went away
+      return false;
+    }
+    if (n == 0) return true;  // would block: wait for POLLOUT
+    conn.out_off += static_cast<std::size_t>(n);
+    conn.last_active = Clock::now();
+  }
+}
+
+bool HttpServer::service_input(Connection& conn) {
+  char buf[16 << 10];
+  for (;;) {
+    const long n = read_some(conn.fd.get(), buf, sizeof buf);
+    if (n > 0) {
+      conn.parser.feed(buf, static_cast<std::size_t>(n));
+      conn.last_active = Clock::now();
+      continue;
+    }
+    if (n == 0) {
+      // Peer shut its write side (or closed).  Keep the connection only
+      // if a response is still owed; otherwise it is done.
+      conn.read_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // hard read error
+  }
+
+  // Parse and answer every fully buffered request, but hold further
+  // pipelined requests while a stream is in flight — responses must leave
+  // in order.
+  while (!conn.stream && !conn.close_after_write) {
+    HttpRequest request;
+    const HttpRequestParser::Status status = conn.parser.poll(request);
+    if (status == HttpRequestParser::Status::kNeedMore) break;
+    if (status == HttpRequestParser::Status::kError) {
+      // Framing is gone: answer with the parser's status and close.
+      conn.close_after_write = true;
+      HttpResponse response;
+      response.status = conn.parser.error_status();
+      response.body = "{\"error\": \"" +
+                      io::JsonWriter::escape(conn.parser.error()) + "\"}";
+      queue_response(conn, response, false, false);
+      break;
+    }
+    dispatch(conn, request);
+  }
+  if (!flush_output(conn)) return false;
+  if (conn.read_closed && !conn.has_pending_output()) return false;
+  if (conn.close_after_write && !conn.has_pending_output()) return false;
+  return true;
+}
+
+void HttpServer::run(const std::atomic<bool>* stop) {
+  const auto should_stop = [this, stop] {
+    return stop_requested_.load(std::memory_order_acquire) ||
+           (stop != nullptr && stop->load(std::memory_order_relaxed));
+  };
+  std::vector<pollfd> fds;
+  std::vector<int> fd_order;  // connection fd per pollfd past the fixed two
+  while (!should_stop()) {
+    fds.clear();
+    fd_order.clear();
+    fds.push_back({listener_.get(), POLLIN, 0});
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    bool any_stream = false;
+    for (const auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (!conn->read_closed) events |= POLLIN;
+      if (conn->out_off < conn->out.size()) events |= POLLOUT;
+      if (conn->stream) any_stream = true;
+      fds.push_back({fd, events, 0});
+      fd_order.push_back(fd);
+    }
+    // Streams are re-polled on a timer (their sources are non-blocking
+    // and may have nothing new); otherwise wake at ~1 Hz to enforce idle
+    // timeouts and notice the external stop flag.
+    const int timeout_ms =
+        any_stream
+            ? std::max(1, static_cast<int>(config_.stream_poll_seconds * 1e3))
+            : 1000;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // poll itself failed: give up
+    if (should_stop()) break;
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_.get(), drain, sizeof drain) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) accept_ready();
+
+    const Clock::time_point now = Clock::now();
+    const auto idle_cutoff =
+        now - std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(config_.idle_timeout_seconds));
+    for (std::size_t i = 0; i < fd_order.size(); ++i) {
+      const auto it = connections_.find(fd_order[i]);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      const short revents = fds[i + 2].revents;
+      bool alive = true;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        alive = false;
+      } else if ((revents & POLLIN) != 0) {
+        alive = service_input(conn);
+      } else if ((revents & POLLOUT) != 0 || conn.stream) {
+        // Writable, or a stream due for a poll tick.
+        alive = flush_output(conn);
+        if (alive && (conn.read_closed || conn.close_after_write) &&
+            !conn.has_pending_output()) {
+          alive = false;
+        }
+      } else if (conn.last_active < idle_cutoff &&
+                 !conn.has_pending_output()) {
+        alive = false;  // idle timeout
+      }
+      if (!alive) connections_.erase(it);
+    }
+  }
+  connections_.clear();
+}
+
+}  // namespace dabs::net

@@ -1,0 +1,140 @@
+// Dependency-free embedded HTTP/1.1 server: a single-threaded poll(2)
+// event loop over non-blocking sockets, the incremental request parser
+// from http_parser.hpp, keep-alive + pipelining, bounded connection /
+// header / body limits, and chunked streaming responses (the job-events
+// endpoint).  poll is used rather than epoll so the loop is portable
+// POSIX; at the connection counts a solve server sees (hundreds, not
+// hundreds of thousands) the O(n) scan is nowhere near the profile.
+//
+// Threading model: everything — accept, parse, the handler, writes — runs
+// on the thread that called run().  Handlers must therefore be fast or
+// hand back a ChunkSource and stream incrementally; the solve API fits
+// because submit/status/cancel are queue operations (the actual solving
+// happens on the SolverService worker pool) and the one long-lived
+// endpoint (events) streams through a ChunkSource.  stop() is the only
+// member safe to call from other threads (self-pipe wakeup).
+//
+// Failpoints (DABS_FAILPOINTS, see util/failpoint.hpp): "net.accept" fires
+// inside the accept loop (the new connection is dropped, the server keeps
+// listening), "net.write" fires in the response write path (that
+// connection closes as if the peer vanished; everything else lives on).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/http_parser.hpp"
+#include "net/net_util.hpp"
+
+namespace dabs::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers emitted verbatim (name -> value).  Content-Length,
+  /// Transfer-Encoding, and Connection are managed by the server.
+  std::map<std::string, std::string> headers;
+};
+
+/// Incremental body producer for chunked streaming responses.  next() is
+/// called from the event loop and MUST NOT block: return kChunk with data
+/// when some is ready, kIdle to be polled again after the configured
+/// stream interval, kDone to finish the stream.
+class ChunkSource {
+ public:
+  enum class Next { kChunk, kIdle, kDone };
+  virtual ~ChunkSource() = default;
+  virtual Next next(std::string& chunk) = 0;
+};
+
+/// What a handler returns: a complete response, optionally followed by a
+/// chunked stream (when `stream` is set, `response.body` must be empty
+/// and the body is produced by the source).
+struct HttpResult {
+  HttpResponse response;
+  std::unique_ptr<ChunkSource> stream;
+};
+
+using HttpHandler = std::function<HttpResult(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; see port()
+    std::size_t max_connections = 256;
+    std::size_t max_header_bytes = std::size_t{16} << 10;
+    std::size_t max_body_bytes = std::size_t{4} << 20;
+    /// Connections idle past this (nothing read, nothing pending) close.
+    double idle_timeout_seconds = 60.0;
+    /// Cadence at which idle ChunkSources are re-polled.
+    double stream_poll_seconds = 0.05;
+  };
+
+  /// Event-loop-local counters (written only by the run() thread; read
+  /// them from a handler — /v1/stats does — or after run() returns).
+  struct Counters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  // over max_connections
+    std::uint64_t accept_faults = 0;         // net.accept failpoint / errors
+    std::uint64_t requests = 0;
+    std::uint64_t handler_errors = 0;  // handler threw (client got a 500)
+    std::uint64_t write_errors = 0;    // connection died mid-response
+  };
+
+  /// Binds and listens immediately (throws std::runtime_error on
+  /// bind/listen failure) so the caller knows the port before run().
+  HttpServer(Config config, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actual bound port (resolves ephemeral port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until stop() is called or `stop` (optional) becomes true.
+  /// Call from exactly one thread.
+  void run(const std::atomic<bool>* stop = nullptr);
+
+  /// Thread-safe: wakes the loop and makes run() return after the current
+  /// iteration.  Idempotent.
+  void stop();
+
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Connection;
+
+  void accept_ready();
+  /// Reads, parses, dispatches; returns false when the connection died.
+  bool service_input(Connection& conn);
+  void dispatch(Connection& conn, const HttpRequest& request);
+  void queue_response(Connection& conn, const HttpResponse& response,
+                      bool chunked, bool keep_alive);
+  /// Writes buffered output and pumps the stream; returns false when the
+  /// connection died (write error / injected net.write fault).
+  bool flush_output(Connection& conn);
+  bool pump_stream(Connection& conn);
+
+  Config config_;
+  HttpHandler handler_;
+  UniqueFd listener_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  Counters counters_;
+};
+
+/// Reason-phrase for the status codes this server emits ("OK", "Bad
+/// Request", ...); "Unknown" for anything unmapped.
+const char* http_status_text(int status) noexcept;
+
+}  // namespace dabs::net

@@ -1,0 +1,145 @@
+#include "net/shard_rpc.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include "io/json_reader.hpp"
+#include "io/json_writer.hpp"
+#include "net/net_util.hpp"
+
+namespace dabs::net {
+
+bool write_frame(int fd, const std::string& payload) {
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  if (!write_all(fd, &length, sizeof length)) return false;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+int read_frame(int fd, std::string* payload, std::size_t max_bytes) {
+  std::uint32_t length = 0;
+  // The first byte distinguishes clean shutdown (EOF at a frame boundary)
+  // from a torn frame, so read the prefix byte-by-byte-tolerantly.
+  std::size_t got = 0;
+  auto* raw = reinterpret_cast<unsigned char*>(&length);
+  while (got < sizeof length) {
+    const ssize_t n = ::read(fd, raw + got, sizeof length - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;  // boundary EOF vs torn prefix
+    got += static_cast<std::size_t>(n);
+  }
+  if (length > max_bytes) return -1;
+  payload->resize(length);
+  if (length != 0 && !read_exact(fd, payload->data(), length)) return -1;
+  return 1;
+}
+
+namespace {
+
+void respond(int fd, int status, const std::string& body,
+             const std::uint64_t* cursor = nullptr,
+             const bool* done = nullptr, const std::size_t* count = nullptr) {
+  std::ostringstream out;
+  {
+    io::JsonWriter json(out);
+    json.begin_object()
+        .value("status", static_cast<std::int64_t>(status))
+        .value("body", body);
+    if (cursor != nullptr) json.value("cursor", *cursor);
+    if (done != nullptr) json.value("done", *done);
+    if (count != nullptr) {
+      json.value("count", static_cast<std::uint64_t>(*count));
+    }
+    json.end_object();
+  }
+  write_frame(fd, out.str());  // a dead parent ends the loop on next read
+}
+
+}  // namespace
+
+int shard_worker_main(int fd, const JobApi::Config& config) {
+  // The parent owns lifecycle: terminal signals to the process group must
+  // not race the EOF-based shutdown (and SIGPIPE is already ignored).
+  std::signal(SIGINT, SIG_IGN);
+  std::signal(SIGTERM, SIG_IGN);
+
+  JobApi api(config);
+  std::string frame;
+  for (;;) {
+    const int r = read_frame(fd, &frame);
+    if (r == 0) return 0;   // parent closed: clean shutdown
+    if (r < 0) return 1;    // torn frame / transport error
+    int status = 400;
+    std::string body;
+    std::uint64_t cursor = 0;
+    bool done = false;
+    std::size_t count = 0;
+    bool is_events = false;
+    try {
+      const io::JsonValue request = io::parse_json(frame);
+      const io::JsonValue* op = request.find("op");
+      const std::string name =
+          op != nullptr && op->is_string() ? op->as_string() : "";
+      const auto job_id = [&request]() -> std::uint64_t {
+        const io::JsonValue* id = request.find("id");
+        if (id == nullptr) throw std::invalid_argument("missing 'id'");
+        return static_cast<std::uint64_t>(id->as_int());
+      };
+      if (name == "ping") {
+        status = 200;
+        body = "{\"ok\": true}";
+      } else if (name == "submit") {
+        const io::JsonValue* req_body = request.find("body");
+        if (req_body == nullptr || !req_body->is_string()) {
+          throw std::invalid_argument("submit frame carries no 'body'");
+        }
+        const ApiReply reply = api.submit(req_body->as_string());
+        status = reply.status;
+        body = reply.body;
+      } else if (name == "status") {
+        const ApiReply reply = api.status(job_id());
+        status = reply.status;
+        body = reply.body;
+      } else if (name == "cancel") {
+        const ApiReply reply = api.cancel(job_id());
+        status = reply.status;
+        body = reply.body;
+      } else if (name == "stats") {
+        const ApiReply reply = api.stats();
+        status = reply.status;
+        body = reply.body;
+      } else if (name == "events") {
+        is_events = true;
+        const io::JsonValue* c = request.find("cursor");
+        if (c != nullptr) cursor = static_cast<std::uint64_t>(c->as_int());
+        const ApiReply reply = api.events(job_id(), &cursor, &done, &count);
+        status = reply.status;
+        body = reply.body;
+      } else {
+        throw std::invalid_argument("unknown rpc op '" + name + "'");
+      }
+    } catch (const std::exception& e) {
+      status = 400;
+      std::ostringstream err;
+      {
+        io::JsonWriter json(err);
+        json.begin_object().value("error", e.what()).end_object();
+      }
+      body = err.str();
+    }
+    if (is_events) {
+      respond(fd, status, body, &cursor, &done, &count);
+    } else {
+      respond(fd, status, body);
+    }
+  }
+}
+
+}  // namespace dabs::net

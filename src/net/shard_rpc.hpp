@@ -1,0 +1,41 @@
+// Shard RPC wire protocol: uint32 (host-order; both ends are one machine,
+// a fork apart) length-prefixed JSON frames over a socketpair.  The front
+// end sends one request object per frame and the worker answers with one
+// response object per frame, strictly in order — the transport carries no
+// ids or multiplexing, the router serializes per-shard calls instead.
+//
+// Request:  {"op": "submit"|"status"|"events"|"cancel"|"stats"|"ping",
+//            "body": "<raw POST body>"        (submit)
+//            "id": <global job id>,           (status/events/cancel)
+//            "cursor": <event cursor>}        (events)
+// Response: {"status": <http status>, "body": "<JSON reply body>",
+//            "cursor": N, "done": bool, "count": N}   (events extras)
+//
+// shard_worker_main() is the child process's entire life after fork():
+// build a JobApi for the owned shard, answer frames until the parent's
+// end closes (EOF = clean shutdown), exit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/job_api.hpp"
+
+namespace dabs::net {
+
+/// Writes one length-prefixed frame to a blocking fd.  Returns false on a
+/// hard write error (errno holds it).
+bool write_frame(int fd, const std::string& payload);
+
+/// Reads one frame.  Returns 1 on success, 0 on clean EOF at a frame
+/// boundary, -1 on error / torn frame / a length above `max_bytes`.
+int read_frame(int fd, std::string* payload,
+               std::size_t max_bytes = std::size_t{64} << 20);
+
+/// Serves JobBackend operations over `fd` until EOF, then returns the
+/// process exit code.  Constructs the JobApi itself (after the fork, so
+/// the service's threads belong to the child).  SIGINT/SIGTERM are
+/// ignored — the parent shuts workers down by closing the pipe.
+int shard_worker_main(int fd, const JobApi::Config& config);
+
+}  // namespace dabs::net

@@ -321,6 +321,14 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
   // definition gets fingerprint "<base>#N", counted in input order —
   // stable across runs of the same file, which --resume relies on.
   std::map<std::string, std::uint64_t> fingerprint_occurrences;
+  // With SIGPIPE ignored process-wide, a consumer that hung up (head,
+  // a dead pipe) surfaces as stream failure after a flush.  The batch
+  // then stops intake and cancels — but keeps journaling terminal
+  // records, so a later --resume still sees the truth.
+  bool output_broken = false;
+  const auto check_output = [&out, &output_broken] {
+    if (!output_broken && !out) output_broken = true;
+  };
   std::size_t line_no = 0;
   std::size_t submitted = 0;
   std::size_t invalid = 0;
@@ -414,6 +422,7 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     json.end_object();
     out << "\n";
     out.flush();
+    check_output();
     JournalRecord record;
     record.fingerprint = pending.fingerprint;
     record.line = pending.line;
@@ -461,6 +470,8 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       was_interrupted = true;
       break;
     }
+    check_output();
+    if (output_broken) break;  // nobody is reading; stop taking work
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     BatchJob job;
@@ -631,10 +642,12 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     }
   }
   if (interrupted()) was_interrupted = true;
-  if (was_interrupted) {
+  if (was_interrupted || output_broken) {
     // Stop intake, cancel everything outstanding; the drain below still
     // emits (and journals) one line per submitted job, so nothing earned
     // is lost and the journal re-enqueues the cancellations on --resume.
+    // (With a broken output stream the emits go nowhere, but the journal
+    // records are the part that must survive.)
     service.cancel_all();
   }
 
@@ -675,10 +688,11 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     err << "; resumed: " << resumed_skipped << " already terminal";
   }
   if (was_interrupted) err << "; interrupted";
+  if (output_broken) err << "; report stream broke (consumer hung up)";
   err << "\n";
   if (was_interrupted) return 130;
   return (invalid == 0 && failed == 0 && load_failed == 0 &&
-          cancelled == 0 && rejected == 0)
+          cancelled == 0 && rejected == 0 && !output_broken)
              ? 0
              : 1;
 }

@@ -165,6 +165,13 @@ JobJournal::Replay JobJournal::replay(const std::string& path) {
     // Last record wins; a duplicate terminal record (crash between the
     // report write and the process exit, then a re-run) is idempotent.
     replay.last_event[fp->as_string()] = parsed;
+    if (parsed == JournalEvent::kSubmitted) {
+      const io::JsonValue* detail = record.find("detail");
+      if (detail != nullptr && detail->is_string() &&
+          !detail->as_string().empty()) {
+        replay.submitted_detail[fp->as_string()] = detail->as_string();
+      }
+    }
   }
   return replay;
 }

@@ -94,6 +94,12 @@ class JobJournal {
   /// accounting.
   struct Replay {
     std::map<std::string, JournalEvent> last_event;
+    /// Per fingerprint, the `detail` payload of its most recent submitted
+    /// record.  The HTTP solve server stores the raw request JSON there at
+    /// submit time, so `serve --resume` can reconstruct and re-enqueue
+    /// jobs that never reached a terminal record.  Fingerprints whose
+    /// submitted records carried no detail are absent.
+    std::map<std::string, std::string> submitted_detail;
     std::size_t records = 0;        // lines that parsed as journal records
     std::size_t skipped = 0;        // lines that did not
     std::vector<std::string> warnings;  // one per skipped line (bounded)

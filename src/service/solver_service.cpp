@@ -150,6 +150,7 @@ JobId SolverService::submit(JobSpec spec) {
     rejected = config_.max_queue_depth > 0 &&
                pending_.size() >= config_.max_queue_depth;
     id = next_id_++;
+    ++stat_submitted_;
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = std::move(spec);
@@ -322,6 +323,23 @@ SolveRequest SolverService::request_for(const Job& job,
 
 void SolverService::finalize_locked(Job& job, JobState state) {
   job.state = state;
+  switch (state) {
+    case JobState::kDone:
+      ++stat_done_;
+      break;
+    case JobState::kFailed:
+      ++stat_failed_;
+      break;
+    case JobState::kCancelled:
+      ++stat_cancelled_;
+      break;
+    case JobState::kRejected:
+      ++stat_rejected_;
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;
+  }
   if (job.report.solver.empty()) job.report.solver = job.spec.solver;
   // Caller annotations win over same-named solver extras: the caller set
   // them deliberately per job.
@@ -527,6 +545,52 @@ std::size_t SolverService::active_count() const {
 std::size_t SolverService::outstanding() const {
   std::lock_guard lock(mu_);
   return pending_.size() + running_;
+}
+
+ServiceStats SolverService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(mu_);
+    out.queue_depth = pending_.size();
+    out.active = running_;
+    out.outstanding = pending_.size() + running_;
+    out.retained = jobs_.size();
+    out.submitted = stat_submitted_;
+    out.done = stat_done_;
+    out.failed = stat_failed_;
+    out.cancelled = stat_cancelled_;
+    out.rejected = stat_rejected_;
+  }
+  // The cache has its own lock and never calls back into the service, but
+  // taking its stats outside mu_ keeps the ordering trivially acyclic.
+  out.cache = cache_.stats();
+  return out;
+}
+
+JobEventBatch SolverService::events_since(JobId id,
+                                          std::uint64_t& cursor) const {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("unknown job id");
+  const Job& job = *it->second;
+  JobEventBatch batch;
+  batch.state = job.state;
+  const std::uint64_t first = job.events_dropped;  // oldest retained seq
+  const std::uint64_t total = first + job.events.size();
+  if (cursor < first) {
+    batch.gap = true;
+    cursor = first;
+  }
+  if (cursor > total) cursor = total;  // caller-supplied cursors can overshoot
+  if (!job.events.empty()) {
+    batch.events.reserve(static_cast<std::size_t>(total - cursor));
+    for (std::uint64_t seq = cursor; seq < total; ++seq) {
+      batch.events.push_back(
+          job.events[(job.ring_next + (seq - first)) % job.events.size()]);
+    }
+  }
+  cursor = total;
+  return batch;
 }
 
 }  // namespace dabs::service

@@ -145,6 +145,36 @@ struct JobSnapshot {
   std::uint64_t events_dropped = 0;
 };
 
+/// Incremental slice of one job's event log for streaming consumers (the
+/// HTTP events endpoint).  Produced by SolverService::events_since().
+struct JobEventBatch {
+  /// Events at sequence >= the passed cursor, oldest first.
+  std::vector<JobEvent> events;
+  /// Job state at the time of the read — stream producers finish once the
+  /// state is terminal and the log is drained.
+  JobState state = JobState::kQueued;
+  /// True when the cursor had fallen behind the bounded ring: events in
+  /// [cursor, oldest retained) were dropped and cannot be recovered; the
+  /// batch resumes at the oldest retained event.
+  bool gap = false;
+};
+
+/// One consistent point-in-time view of the service and its model cache,
+/// taken under a single lock acquisition so the numbers agree with each
+/// other (the /v1/stats endpoint and operator tooling read this).
+struct ServiceStats {
+  std::size_t queue_depth = 0;  // submitted, not yet picked up
+  std::size_t active = 0;       // inside Solver::solve right now
+  std::size_t outstanding = 0;  // queue_depth + active
+  std::size_t retained = 0;     // job records held (not yet release()d)
+  std::uint64_t submitted = 0;  // lifetime submits (rejected ones included)
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+  ModelCache::Stats cache;
+};
+
 /// Bounded exponential backoff with deterministic jitter: for the
 /// `failures`-th consecutive failure (1-based), min(cap, initial *
 /// 2^(failures-1)) scaled by a jitter factor in [0.5, 1.0] drawn from a
@@ -248,6 +278,19 @@ class SolverService {
   /// Jobs not yet terminal (queued + running).
   std::size_t outstanding() const;
 
+  /// Every gauge and lifetime counter in one locked read (plus the model
+  /// cache's own stats) — a mutually consistent snapshot, unlike calling
+  /// the individual accessors back to back.
+  ServiceStats stats() const;
+
+  /// Events appended to `id`'s log at sequence >= `cursor`, advancing
+  /// `cursor` past what is returned.  Sequences count every event ever
+  /// appended to the job (0-based); when the bounded ring has already
+  /// dropped part of the requested range the batch is flagged `gap` and
+  /// resumes at the oldest retained event.  Throws std::out_of_range for
+  /// an unknown id.
+  JobEventBatch events_since(JobId id, std::uint64_t& cursor) const;
+
   /// The service-owned model cache (thread-safe; share freely).
   ModelCache& cache() noexcept { return cache_; }
 
@@ -290,6 +333,12 @@ class SolverService {
   JobId next_id_ = 1;
   std::size_t running_ = 0;
   std::size_t unclaimed_ = 0;  // submitted minus wait_any deliveries
+  /// Lifetime counters behind stats(): bumped at submit / finalize.
+  std::uint64_t stat_submitted_ = 0;
+  std::uint64_t stat_done_ = 0;
+  std::uint64_t stat_failed_ = 0;
+  std::uint64_t stat_cancelled_ = 0;
+  std::uint64_t stat_rejected_ = 0;
   bool shutting_down_ = false;
   /// Lazily started on the first deadline submit; joined in the dtor.
   std::thread watchdog_;

@@ -233,5 +233,40 @@ TEST(JobJournalTest, RecordsSerializeOptionalFieldsOnlyWhenSet) {
   EXPECT_NE(second.find("\"detail\":\"boom\""), std::string::npos);
 }
 
+TEST(JobJournalTest, ReplayKeepsLatestSubmittedDetailPerFingerprint) {
+  // The HTTP solve server stores the raw request body in the submitted
+  // record's detail field; replay must surface the most recent one per
+  // fingerprint so `serve --resume` can re-enqueue from it.
+  const std::string path = temp_path("journal_submitted_detail.jsonl");
+  {
+    JobJournal journal(path);
+    JournalRecord record;
+    record.event = JournalEvent::kSubmitted;
+    record.fingerprint = "aaaa";
+    record.detail = R"({"problem": "maxcut", "try": 1})";
+    journal.append(record);
+    // A later submitted record for the same fingerprint (a resume that was
+    // itself killed) supersedes the stored body.
+    record.detail = R"({"problem": "maxcut", "try": 2})";
+    journal.append(record);
+    // Detail-less submits (the batch runner's) contribute nothing.
+    record.fingerprint = "bbbb";
+    record.detail.clear();
+    journal.append(record);
+    // Non-submitted events never touch the stored bodies.
+    record.event = JournalEvent::kDone;
+    record.fingerprint = "aaaa";
+    record.detail = "disposition text, not a body";
+    journal.append(record);
+  }
+  const JobJournal::Replay replay = JobJournal::replay(path);
+  ASSERT_EQ(replay.submitted_detail.size(), 1u);
+  EXPECT_EQ(replay.submitted_detail.at("aaaa"),
+            R"({"problem": "maxcut", "try": 2})");
+  EXPECT_EQ(replay.submitted_detail.count("bbbb"), 0u);
+  // The terminal record still wins for state, independent of the body map.
+  EXPECT_TRUE(replay.terminal("aaaa"));
+}
+
 }  // namespace
 }  // namespace dabs::service

@@ -115,5 +115,68 @@ TEST(JsonReader, ErrorsCarryByteOffset) {
   }
 }
 
+TEST(JsonReader, EveryPrefixOfAValidDocumentIsRejected) {
+  // What a network reader sees when a peer hangs up mid-message: the
+  // document split at an arbitrary byte.  Every strict prefix must throw
+  // (never return a half-parsed value) and the parser must not crash.
+  const std::string doc =
+      R"({"problem": "maxcut", "params": {"n": 24, "seed": -3},)"
+      R"( "limits": [0.5, 1e3, true, null], "tag": "a\"bé"})";
+  ASSERT_NO_THROW(parse_json(doc));
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    EXPECT_THROW(parse_json(doc.substr(0, cut)), std::invalid_argument)
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(JsonReader, DocumentsEndingMidTokenSayWhere) {
+  // Truncations that land inside a token report "unexpected end of input"
+  // (the error path the HTTP server's 400s surface to clients).
+  const char* truncated[] = {
+      "{\"key\"",            // object missing colon and value
+      "{\"key\":",           // value never starts
+      "[1, 2,",              // array missing element
+      "\"mid-str",           // string missing close quote
+      "\"esc\\",             // string ends inside an escape
+      "\"u\\u00",            // string ends inside a \u escape
+      "tru",                 // literal cut short
+      "-",                   // number cut after sign
+      "1e",                  // number cut inside exponent
+  };
+  for (const char* doc : truncated) {
+    try {
+      parse_json(doc);
+      ADD_FAILURE() << "parsed truncated document: " << doc;
+    } catch (const std::invalid_argument& e) {
+      // Must be diagnosed as premature end (or the malformed token the cut
+      // produced), never an out-of-range crash.
+      EXPECT_FALSE(std::string(e.what()).empty()) << doc;
+    }
+  }
+  try {
+    parse_json("{\"key\": ");
+    ADD_FAILURE() << "parsed document with missing value";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unexpected end of input"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonReader, SplitInputMustBeReassembledBeforeParsing) {
+  // parse_json is whole-document: feeding the halves of a split message
+  // separately throws on both, while their concatenation parses.  (This
+  // pins the contract the HTTP body path relies on: buffer until
+  // Content-Length bytes arrived, then parse once.)
+  const std::string doc = R"({"a": [1, 2, 3], "b": "text"})";
+  for (const std::size_t cut : {5u, 12u, 20u}) {
+    const std::string head = doc.substr(0, cut);
+    const std::string tail = doc.substr(cut);
+    EXPECT_THROW(parse_json(head), std::invalid_argument);
+    EXPECT_THROW(parse_json(tail), std::invalid_argument);
+    EXPECT_EQ(parse_json(head + tail).find("b")->as_string(), "text");
+  }
+}
+
 }  // namespace
 }  // namespace dabs

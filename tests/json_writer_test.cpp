@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "io/json_writer.hpp"
 
@@ -127,6 +129,56 @@ TEST(JsonWriter, RejectsTwoTopLevelValues) {
   io::JsonWriter j(out);
   j.begin_object().end_object();
   EXPECT_THROW(j.begin_object(), std::invalid_argument);
+}
+
+TEST(JsonWriter, StreamsChunkedEventObjects) {
+  // The events endpoint writes one self-contained JSON object per HTTP
+  // chunk: a fresh JsonWriter per page over a reused stringstream.  Each
+  // chunk must be complete, independently parseable JSON, and the writer
+  // must not leak state between pages.
+  std::vector<std::string> chunks;
+  std::ostringstream out;
+  for (int page = 0; page < 3; ++page) {
+    out.str("");
+    {
+      io::JsonWriter json(out);
+      json.begin_object()
+          .value("job_id", std::uint64_t{42})
+          .value("cursor", static_cast<std::uint64_t>(page + 1) * 2)
+          .begin_array("events");
+      for (int i = 0; i < 2; ++i) {
+        json.begin_object()
+            .value("kind", i == 0 ? "new_best" : "tick")
+            .value("elapsed_seconds", 0.25 * (page * 2 + i))
+            .value("best_energy", std::int64_t{-17 - page})
+            .value("work", std::uint64_t{1000})
+            .end_object();
+      }
+      json.end_array().end_object();
+      EXPECT_TRUE(json.complete());
+    }
+    chunks.push_back(out.str() + "\n");
+  }
+
+  ASSERT_EQ(chunks.size(), 3u);
+  for (const std::string& chunk : chunks) {
+    EXPECT_EQ(chunk.back(), '\n');  // JSONL framing for line readers
+    EXPECT_EQ(chunk.find('\n'), chunk.size() - 1);  // one object per chunk
+    EXPECT_EQ(chunk.front(), '{');
+  }
+  // Pages carry their own cursors — nothing bled across writer instances.
+  EXPECT_NE(chunks[0].find("\"cursor\":2"), std::string::npos);
+  EXPECT_NE(chunks[2].find("\"cursor\":6"), std::string::npos);
+  EXPECT_NE(chunks[2].find("\"best_energy\":-19"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapeIsSafeForEventPayloads) {
+  // Error details spliced into streamed pages go through escape(); pin the
+  // characters that would otherwise break chunk framing or JSON syntax.
+  EXPECT_EQ(io::JsonWriter::escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(io::JsonWriter::escape("quote\" back\\"), "quote\\\" back\\\\");
+  EXPECT_EQ(io::JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(io::JsonWriter::escape("plain"), "plain");
 }
 
 }  // namespace

@@ -1120,5 +1120,152 @@ TEST(BatchRunner, PreRaisedInterruptRunsNothing) {
   EXPECT_EQ(out.str(), "");
 }
 
+// ---------------------------------------------------------------------------
+// ServiceStats: the one-call consistent snapshot /v1/stats reads.
+
+TEST(SolverService, StatsSnapshotStartsAtZero) {
+  SolverService svc(service_config(1));
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.retained, 0u);
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.done, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+  EXPECT_EQ(stats.cache.bytes, 0u);
+}
+
+TEST(SolverService, StatsSnapshotTracksLifecycleConsistently) {
+  SolverService svc(service_config(1));
+  const auto model = shared_model(9);
+  const JobId a = svc.submit(budget_spec(model, "sa", 500, 1));
+  const JobId b = svc.submit(budget_spec(model, "sa", 500, 2));
+  (void)svc.wait(a);
+  (void)svc.wait(b);
+
+  service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.done, 2u);
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.retained, 2u);  // terminal but not yet release()d
+  // The snapshot is internally consistent: every submit is accounted for
+  // exactly once across the terminal counters and the in-flight gauges.
+  EXPECT_EQ(stats.submitted,
+            stats.done + stats.failed + stats.cancelled + stats.rejected +
+                stats.outstanding);
+
+  svc.release(a);
+  stats = svc.stats();
+  EXPECT_EQ(stats.retained, 1u);
+  EXPECT_EQ(stats.done, 2u);  // lifetime counter unaffected by release
+}
+
+TEST(SolverService, StatsSnapshotCountsRejectedAndCancelled) {
+  SolverService::Config config = service_config(1);
+  config.max_queue_depth = 1;
+  SolverService svc(config);
+  const auto model = shared_model(10);
+
+  JobSpec blocker = budget_spec(model, "sa", 0, 1);  // runs until cancelled
+  const JobId blocker_id = svc.submit(std::move(blocker));
+  // Fill the one queue slot, then shed.
+  std::vector<JobId> queued;
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    const JobId id = svc.submit(budget_spec(model, "sa", 100, 10 + i));
+    if (svc.snapshot(id).state == JobState::kRejected) {
+      ++rejected;
+    } else {
+      queued.push_back(id);
+    }
+  }
+  EXPECT_GE(rejected, 1);
+
+  EXPECT_TRUE(svc.cancel(blocker_id));
+  (void)svc.wait(blocker_id);
+  for (const JobId id : queued) (void)svc.wait(id);
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.submitted,
+            stats.done + stats.failed + stats.cancelled + stats.rejected +
+                stats.outstanding);
+}
+
+// ---------------------------------------------------------------------------
+// events_since: the incremental event reads behind the streaming endpoint.
+
+TEST(SolverService, EventsSinceAdvancesCursorWithoutRereads) {
+  SolverService svc(service_config(1));
+  JobSpec spec = budget_spec(shared_model(4), "greedy-restart", 4000, 11);
+  spec.tick_seconds = 1e-4;
+  const JobId id = svc.submit(std::move(spec));
+  (void)svc.wait(id);
+
+  std::uint64_t cursor = 0;
+  const service::JobEventBatch first = svc.events_since(id, cursor);
+  EXPECT_EQ(first.state, JobState::kDone);
+  EXPECT_FALSE(first.gap);
+  ASSERT_FALSE(first.events.empty());
+  EXPECT_EQ(cursor, first.events.size());
+
+  // Nothing new after the job is terminal: the cursor holds, no rereads.
+  std::uint64_t cursor2 = cursor;
+  const service::JobEventBatch second = svc.events_since(id, cursor2);
+  EXPECT_TRUE(second.events.empty());
+  EXPECT_EQ(cursor2, cursor);
+  EXPECT_EQ(second.state, JobState::kDone);
+
+  // Split reads see the same events as one big read.
+  std::uint64_t split_cursor = 0;
+  const service::JobEventBatch page1 = svc.events_since(id, split_cursor);
+  EXPECT_EQ(page1.events.size(), first.events.size());
+  EXPECT_EQ(page1.events.front().best_energy,
+            first.events.front().best_energy);
+}
+
+TEST(SolverService, EventsSinceReportsGapAfterRingDrop) {
+  // Ring of 4: a chatty job overflows it, so a cursor parked at 0 finds
+  // its events gone and must be told (gap), resuming at the oldest kept.
+  SolverService svc(service_config(1, 4));
+  JobSpec spec = budget_spec(shared_model(4), "greedy-restart", 20000, 11);
+  spec.tick_seconds = 1e-5;  // plenty of tick events
+  const JobId id = svc.submit(std::move(spec));
+  const JobSnapshot snap = svc.wait(id);
+  ASSERT_GT(snap.events_dropped, 0u) << "job was not chatty enough";
+
+  std::uint64_t cursor = 0;
+  const service::JobEventBatch batch = svc.events_since(id, cursor);
+  EXPECT_TRUE(batch.gap);
+  EXPECT_EQ(batch.events.size(), 4u);  // the retained ring
+  EXPECT_EQ(cursor, snap.events_dropped + 4u);  // past everything produced
+
+  // A cursor inside the retained window is honored without a gap.
+  std::uint64_t tail_cursor = snap.events_dropped + 2;
+  const service::JobEventBatch tail = svc.events_since(id, tail_cursor);
+  EXPECT_FALSE(tail.gap);
+  EXPECT_EQ(tail.events.size(), 2u);
+  EXPECT_EQ(tail_cursor, cursor);
+
+  // A cursor past the end clamps instead of reading garbage.
+  std::uint64_t over_cursor = cursor + 50;
+  const service::JobEventBatch over = svc.events_since(id, over_cursor);
+  EXPECT_TRUE(over.events.empty());
+  EXPECT_EQ(over_cursor, cursor);
+}
+
+TEST(SolverService, EventsSinceUnknownJobThrows) {
+  SolverService svc(service_config(1));
+  std::uint64_t cursor = 0;
+  EXPECT_THROW(svc.events_since(JobId{777}, cursor), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace dabs
