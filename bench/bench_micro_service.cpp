@@ -14,6 +14,7 @@
 #include "net/job_api.hpp"
 #include "net/shard_router.hpp"
 #include "net/solve_server.hpp"
+#include "obs/metrics.hpp"
 #include "qubo/qubo_builder.hpp"
 #include "rng/xorshift.hpp"
 #include "service/model_cache.hpp"
@@ -94,6 +95,44 @@ void BM_ModelCacheKeyHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelCacheKeyHit);
+
+/// Cost of one telemetry touch: a counter increment plus a histogram
+/// observation through pre-resolved handles, the exact pattern every
+/// instrumented call site uses (resolve once, update per event).  This is
+/// the per-request overhead /v1/metrics instrumentation adds — it must
+/// stay in the low tens of nanoseconds.
+void BM_MetricsOverhead(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& requests = reg.counter("bench_requests_total", "bench");
+  obs::Histogram& latency = reg.histogram(
+      "bench_latency_seconds", "bench",
+      obs::Histogram::default_latency_bounds());
+  double sample = 0.0;
+  for (auto _ : state) {
+    requests.inc();
+    latency.observe(sample);
+    sample += 1e-6;  // walk the bucket ladder instead of hitting one bucket
+    if (sample > 1.0) sample = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsOverhead);
+
+/// The same two updates under thread contention: relaxed atomics mean no
+/// lock, but the cachelines bounce.  Threads as the benchmark argument.
+void BM_MetricsOverheadContended(benchmark::State& state) {
+  static obs::MetricsRegistry reg;
+  obs::Counter& requests = reg.counter("bench_contended_total", "bench");
+  obs::Histogram& latency = reg.histogram(
+      "bench_contended_seconds", "bench",
+      obs::Histogram::default_latency_bounds());
+  for (auto _ : state) {
+    requests.inc();
+    latency.observe(0.002);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsOverheadContended)->Threads(1)->Threads(4);
 
 // ---------------------------------------------------------------------------
 // HTTP solve server: the same pipeline through SolveServer + the wire.

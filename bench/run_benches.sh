@@ -8,6 +8,11 @@
 #
 # Extra google-benchmark flags can be passed via DABS_BENCH_ARGS, e.g.
 #   DABS_BENCH_ARGS='--benchmark_min_time=2s' bench/run_benches.sh
+#
+# Flip-kernel guard: when OUTPUT_JSON already holds a prior report, the new
+# BM_BulkFlipK2000 flips/s is compared against it.  A drop beyond
+# DABS_BENCH_TOLERANCE (default 0.10 = 10%, generous for shared runners)
+# warns; set DABS_BENCH_GATE=1 to turn the warning into a hard failure.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -37,6 +42,56 @@ done
 if [[ ${#ran[@]} -eq 0 ]]; then
   echo "error: no micro bench executable found under ${build_dir}/bench" >&2
   exit 1
+fi
+
+# Guard the flip-kernel hot path before overwriting the prior report: the
+# telemetry layer must never leak into the inner loops.  Compares per-arg
+# BM_BulkFlipK2000 flips/s (items_per_second) new vs old.
+if [[ -f "${output}" ]] && command -v python3 >/dev/null 2>&1; then
+  guard_status=0
+  python3 - "${output}" "${tmpdir}/bench_micro_incremental.json" \
+    "${DABS_BENCH_TOLERANCE:-0.10}" <<'PY' || guard_status=$?
+import json, sys
+
+prior_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def flips(report):
+    return {b["name"]: b["items_per_second"]
+            for b in report.get("benchmarks", [])
+            if b["name"].startswith("BM_BulkFlipK2000") and
+               "items_per_second" in b}
+
+try:
+    with open(prior_path) as f:
+        prior = flips(json.load(f).get("bench_micro_incremental", {}))
+    with open(fresh_path) as f:
+        fresh = flips(json.load(f))
+except (OSError, json.JSONDecodeError) as e:
+    print(f"flip guard: skip ({e})", file=sys.stderr)
+    sys.exit(0)
+
+regressed = False
+for name, before in sorted(prior.items()):
+    after = fresh.get(name)
+    if after is None:
+        continue
+    delta = (after - before) / before
+    print(f"flip guard: {name} {before / 1e6:.2f} -> {after / 1e6:.2f} "
+          f"Mflips/s ({delta:+.1%})", file=sys.stderr)
+    if delta < -tolerance:
+        regressed = True
+sys.exit(2 if regressed else 0)
+PY
+  if [[ "${guard_status}" -ne 0 ]]; then
+    echo "WARNING: BM_BulkFlipK2000 regressed beyond" \
+         "${DABS_BENCH_TOLERANCE:-0.10} tolerance" >&2
+    if [[ "${DABS_BENCH_GATE:-0}" = "1" ]]; then
+      echo "FAIL: flip-kernel regression (DABS_BENCH_GATE=1)" >&2
+      exit 1
+    fi
+  fi
+elif [[ -f "${output}" ]]; then
+  echo "flip guard: skip (python3 not found)" >&2
 fi
 
 # Merge: one object keyed by suite name, each holding the full

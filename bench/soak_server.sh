@@ -59,10 +59,36 @@ for _ in $(seq 1 600); do
 done
 echo "$stats" > "$WORK/stats.json"
 
+# Final scrape: the metrics ledger must agree with itself.  Sums are per
+# metric family across every label set (per-shard samples included).
+curl -sf "$BASE/metrics" > "$WORK/metrics.prom" \
+  || { echo "FAIL: /v1/metrics scrape failed" >&2; exit 1; }
+sum_metric() {
+  awk -v name="$1" \
+    '$0 !~ /^#/ && $1 ~ "^"name"($|\\{)" { s += $NF } END { printf "%.0f\n", s + 0 }' \
+    "$WORK/metrics.prom"
+}
+m_requests=$(sum_metric dabs_http_requests_total)
+m_submitted=$(sum_metric dabs_service_jobs_submitted_total)
+m_terminal=$(sum_metric dabs_service_jobs_terminal_total)
+
 echo "== soak result (${duration}s window)"
 echo "submitted: $submitted  shed(429): $shed  transport-errors: $errors"
 echo "sustained: $(( submitted / duration )) jobs/s accepted"
 echo "final /v1/stats:"
 sed 's/^/  /' "$WORK/stats.json"
+echo "final /v1/metrics: http_requests=$m_requests" \
+     "service_submitted=$m_submitted service_terminal=$m_terminal"
 [ "$errors" -eq 0 ] || { echo "FAIL: transport errors during soak" >&2; exit 1; }
+# Invariant 1: the HTTP layer saw at least one request per accepted job.
+[ "$m_requests" -ge "$m_submitted" ] || {
+  echo "FAIL: http requests ($m_requests) < jobs submitted ($m_submitted)" >&2
+  exit 1
+}
+# Invariant 2: after the drain, every submitted job reached a terminal
+# disposition — the counters must balance exactly.
+[ "$m_submitted" -eq "$m_terminal" ] || {
+  echo "FAIL: submitted ($m_submitted) != terminal sum ($m_terminal)" >&2
+  exit 1
+}
 echo "PASS"

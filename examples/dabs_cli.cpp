@@ -107,6 +107,9 @@ void usage(const std::string& prog) {
          "(default 3)\n"
       << "  --queue-limit <n>           shed submits past this queue depth "
          "(default: unbounded)\n"
+      << "  --trace <path>              dump per-job trace spans as Chrome "
+         "trace-event\n"
+      << "                              JSON (open at chrome://tracing)\n"
       << "(SIGINT/SIGTERM cancel outstanding jobs, flush journal + earned "
          "reports,\n"
       << " print the summary, and exit 130)\n"
@@ -115,7 +118,9 @@ void usage(const std::string& prog) {
          "8080)\n"
       << "  --host <addr>               bind address (default 127.0.0.1)\n"
       << "  --jobs/--cache-mb/--time-limit/--attempts/--queue-limit/\n"
-      << "  --journal/--resume          as for batch, per shard\n"
+      << "  --journal/--resume/--trace  as for batch, per shard (shard "
+         "workers write\n"
+      << "                              <path>.shard<k>)\n"
       << "  --shards <n>                fork <n> shard workers behind this "
          "server,\n"
       << "                              routed by consistent hash of the "
@@ -125,7 +130,15 @@ void usage(const std::string& prog) {
       << "                              group (misrouted requests get 421)\n"
       << "(SIGINT/SIGTERM stop the server gracefully; with --journal, "
          "restart with\n"
-      << " --resume to re-enqueue jobs that never finished)\n";
+      << " --resume to re-enqueue jobs that never finished)\n"
+      << "observability (all modes):\n"
+      << "  DABS_LOG=<level>[,json]     structured stderr logging: debug, "
+         "info, warn\n"
+      << "                              (default), error, off; \",json\" "
+         "switches to\n"
+      << "                              JSON-lines output\n"
+      << "  GET /v1/metrics             Prometheus metrics (serve mode; "
+         "see README)\n";
 }
 
 void list_solvers() {
@@ -196,6 +209,7 @@ int run_batch_command(const dabs::ArgParser& args) {
   opts.resume = args.get_bool("resume");
   opts.max_attempts = static_cast<std::uint32_t>(attempts);
   opts.max_queue_depth = static_cast<std::size_t>(queue_limit);
+  opts.trace_path = args.get("trace").value_or("");
   if (opts.resume && opts.journal_path.empty()) {
     std::cerr << "--resume requires --journal <path>\n";
     return 2;
@@ -254,6 +268,7 @@ int run_serve_command(const dabs::ArgParser& args) {
   api.max_attempts = static_cast<std::uint32_t>(attempts);
   api.journal_path = args.get("journal").value_or("");
   api.resume = args.get_bool("resume");
+  api.trace_path = args.get("trace").value_or("");
   if (api.resume && api.journal_path.empty()) {
     std::cerr << "--resume requires --journal <path>\n";
     return 2;

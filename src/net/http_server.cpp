@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "io/json_writer.hpp"
+#include "obs/metrics.hpp"
 #include "util/failpoint.hpp"
 
 namespace dabs::net {
@@ -22,6 +23,66 @@ namespace dabs::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Global HTTP metrics (every server instance in the process accumulates
+/// into the same counters; the open-connections gauge tracks the event
+/// loop that updated last — one server per process in production).
+struct HttpMetrics {
+  obs::Counter* requests_1xx = nullptr;
+  obs::Counter* requests_2xx = nullptr;
+  obs::Counter* requests_3xx = nullptr;
+  obs::Counter* requests_4xx = nullptr;
+  obs::Counter* requests_5xx = nullptr;
+  obs::Counter* connections = nullptr;
+  obs::Counter* connections_rejected = nullptr;
+  obs::Counter* accept_faults = nullptr;
+  obs::Counter* bytes_read = nullptr;
+  obs::Counter* bytes_written = nullptr;
+  obs::Gauge* open_connections = nullptr;
+
+  obs::Counter* by_status(int status) const noexcept {
+    switch (status / 100) {
+      case 1: return requests_1xx;
+      case 2: return requests_2xx;
+      case 3: return requests_3xx;
+      case 4: return requests_4xx;
+      default: return requests_5xx;
+    }
+  }
+};
+
+HttpMetrics& http_metrics() {
+  static HttpMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    HttpMetrics m;
+    const char* requests_help = "HTTP responses sent, by status class.";
+    m.requests_1xx = &reg.counter("dabs_http_requests_total", requests_help,
+                                  {{"class", "1xx"}});
+    m.requests_2xx = &reg.counter("dabs_http_requests_total", requests_help,
+                                  {{"class", "2xx"}});
+    m.requests_3xx = &reg.counter("dabs_http_requests_total", requests_help,
+                                  {{"class", "3xx"}});
+    m.requests_4xx = &reg.counter("dabs_http_requests_total", requests_help,
+                                  {{"class", "4xx"}});
+    m.requests_5xx = &reg.counter("dabs_http_requests_total", requests_help,
+                                  {{"class", "5xx"}});
+    m.connections = &reg.counter("dabs_http_connections_total",
+                                 "Connections accepted.");
+    m.connections_rejected =
+        &reg.counter("dabs_http_connections_rejected_total",
+                     "Connections shed at the max_connections bound.");
+    m.accept_faults = &reg.counter("dabs_http_accept_faults_total",
+                                   "Transient accept(2) failures.");
+    m.bytes_read = &reg.counter("dabs_http_bytes_read_total",
+                                "Request bytes read off sockets.");
+    m.bytes_written = &reg.counter("dabs_http_bytes_written_total",
+                                   "Response bytes written to sockets.");
+    m.open_connections = &reg.gauge("dabs_http_open_connections",
+                                    "Connections currently open.");
+    return m;
+  }();
+  return metrics;
+}
 
 /// Stop pulling stream chunks once this much output is buffered; the
 /// socket drains it first (bounds per-connection memory against a slow
@@ -140,6 +201,7 @@ void HttpServer::accept_ready() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       ++counters_.accept_faults;  // transient (EMFILE, ECONNABORTED, ...)
+      http_metrics().accept_faults->inc();
       return;
     }
     // Injected accept fault: the connection is dropped on the floor and
@@ -149,11 +211,13 @@ void HttpServer::accept_ready() {
       fail::point("net.accept");
     } catch (const std::exception&) {
       ++counters_.accept_faults;
+      http_metrics().accept_faults->inc();
       ::close(fd);
       continue;
     }
     if (connections_.size() >= config_.max_connections) {
       ++counters_.connections_rejected;
+      http_metrics().connections_rejected->inc();
       ::close(fd);  // shedding: no spare resources to even write a 503
       continue;
     }
@@ -161,10 +225,13 @@ void HttpServer::accept_ready() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     ++counters_.connections_accepted;
+    http_metrics().connections->inc();
     connections_.emplace(
         fd, std::make_unique<Connection>(
                 fd, HttpRequestParser::Limits{config_.max_header_bytes,
                                               config_.max_body_bytes}));
+    http_metrics().open_connections->set(
+        static_cast<std::int64_t>(connections_.size()));
   }
 }
 
@@ -185,6 +252,7 @@ void HttpServer::queue_response(Connection& conn,
   }
   head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   head += "\r\n";
+  http_metrics().by_status(response.status)->inc();
   conn.out += head;
   if (!chunked) conn.out += response.body;
   conn.keep_alive = keep_alive;
@@ -256,6 +324,7 @@ bool HttpServer::flush_output(Connection& conn) {
     }
     if (n == 0) return true;  // would block: wait for POLLOUT
     conn.out_off += static_cast<std::size_t>(n);
+    http_metrics().bytes_written->inc(static_cast<std::uint64_t>(n));
     conn.last_active = Clock::now();
   }
 }
@@ -266,6 +335,7 @@ bool HttpServer::service_input(Connection& conn) {
     const long n = read_some(conn.fd.get(), buf, sizeof buf);
     if (n > 0) {
       conn.parser.feed(buf, static_cast<std::size_t>(n));
+      http_metrics().bytes_read->inc(static_cast<std::uint64_t>(n));
       conn.last_active = Clock::now();
       continue;
     }
@@ -371,8 +441,11 @@ void HttpServer::run(const std::atomic<bool>* stop) {
       }
       if (!alive) connections_.erase(it);
     }
+    http_metrics().open_connections->set(
+        static_cast<std::int64_t>(connections_.size()));
   }
   connections_.clear();
+  http_metrics().open_connections->set(0);
 }
 
 }  // namespace dabs::net

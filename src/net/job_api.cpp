@@ -7,12 +7,22 @@
 #include <vector>
 
 #include "io/json_writer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "problems/problem.hpp"
 #include "problems/problem_registry.hpp"
 
 namespace dabs::net {
 
 namespace {
+
+obs::Counter& journal_error_counter() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "dabs_journal_append_errors_total",
+      "Journal appends that failed (the server keeps serving without "
+      "durability).");
+  return counter;
+}
 
 std::string error_body(const std::string& message) {
   std::ostringstream out;
@@ -110,6 +120,9 @@ JobApi::JobApi(Config config)
 JobApi::~JobApi() {
   stop_reaper_.store(true, std::memory_order_relaxed);
   if (reaper_.joinable()) reaper_.join();
+  if (!config_.trace_path.empty() && !trace_.empty()) {
+    trace_.write_file(config_.trace_path);
+  }
   // The service dtor cancels and joins workers; the on_started hook can
   // still fire until then, so journal_ must outlive it (member order).
 }
@@ -118,9 +131,16 @@ void JobApi::journal_append(const service::JournalRecord& record) {
   if (!journal_) return;
   try {
     journal_->append(record);
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     // Keep serving without durability; /v1/stats surfaces the count.
     journal_errors_.fetch_add(1, std::memory_order_relaxed);
+    journal_error_counter().inc();
+    static obs::LogRateLimit gate(5.0);
+    std::uint64_t suppressed = 0;
+    if (gate.allow(&suppressed)) {
+      obs::log(obs::LogLevel::kWarn, "journal", "append failed",
+               {{"error", e.what()}, {"suppressed", suppressed}});
+    }
   }
 }
 
@@ -415,6 +435,18 @@ ApiReply JobApi::stats() {
   return {200, out.str()};
 }
 
+ApiReply JobApi::metrics() {
+  std::ostringstream out;
+  obs::render_prometheus(obs::MetricsRegistry::global().snapshot(), out);
+  return {200, out.str()};
+}
+
+std::string JobApi::metrics_snapshot_json() {
+  std::ostringstream out;
+  obs::write_snapshot_json(obs::MetricsRegistry::global().snapshot(), out);
+  return out.str();
+}
+
 void JobApi::reaper_loop() {
   while (true) {
     const bool stopping = stop_reaper_.load(std::memory_order_relaxed);
@@ -490,6 +522,11 @@ void JobApi::reaper_loop() {
       journal_append(record);
     }
     service_.release(local);
+    if (!config_.trace_path.empty()) {
+      obs::JobTrace trace = service::job_trace(snap);
+      trace.job_id = to_global(local);
+      obs::append_job_trace(trace_, trace);
+    }
     finished_[local] = Finished{std::move(snap), std::move(fingerprint)};
     finish_order_.push_back(local);
     while (finish_order_.size() > config_.retention_jobs) {

@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "service/batch_runner.hpp"
 #include "service/job_journal.hpp"
 #include "service/solver_service.hpp"
@@ -69,6 +70,14 @@ class JobBackend {
 
   /// GET /v1/stats: service gauges/counters + cache stats as JSON.
   virtual ApiReply stats() = 0;
+
+  /// GET /v1/metrics: Prometheus text exposition of the process-wide
+  /// metrics registry.  The sharded backend aggregates every worker's
+  /// registry into one exposition with per-shard labels.
+  virtual ApiReply metrics() = 0;
+
+  /// Shard topology behind this backend (1 = unsharded), for /v1/healthz.
+  virtual std::size_t shards() const { return 1; }
 };
 
 /// The shard-routing key of a parsed job: the problem spec + params (or
@@ -109,6 +118,11 @@ class JobApi final : public JobBackend {
     /// Global-id encoding (defaults: the unsharded topology).
     std::size_t shard_idx = 0;
     std::size_t shards = 1;
+    /// When non-empty, every job the reaper collects is recorded as trace
+    /// spans and dumped as Chrome trace-event JSON here at shutdown
+    /// (`dabs_cli serve --trace`).  Shard workers write
+    /// "<path>.shard<k>" like the journal.
+    std::string trace_path;
   };
 
   explicit JobApi(Config config);
@@ -123,6 +137,12 @@ class JobApi final : public JobBackend {
                   std::size_t* count) override;
   ApiReply cancel(std::uint64_t id) override;
   ApiReply stats() override;
+  ApiReply metrics() override;
+  std::size_t shards() const override { return config_.shards; }
+
+  /// This process's registry as a JSON snapshot — the payload of the
+  /// shard "metrics" RPC, which the parent merges under per-shard labels.
+  static std::string metrics_snapshot_json();
 
   /// Jobs re-submitted from the journal by the constructor (--resume).
   std::size_t resumed() const noexcept { return resumed_; }
@@ -176,6 +196,9 @@ class JobApi final : public JobBackend {
   /// and without it (the service's on_started hook on worker threads).
   std::atomic<std::uint64_t> journal_errors_{0};
   std::size_t resumed_ = 0;
+  /// Populated by the reaper when Config::trace_path is set; dumped by the
+  /// destructor.
+  obs::TraceCollector trace_;
 
   std::atomic<bool> stop_reaper_{false};
   std::thread reaper_;

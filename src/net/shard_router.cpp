@@ -12,11 +12,51 @@
 #include "io/json_reader.hpp"
 #include "io/json_writer.hpp"
 #include "net/shard_rpc.hpp"
+#include "obs/log.hpp"
 #include "util/failpoint.hpp"
+#include "util/timer.hpp"
 
 namespace dabs::net {
 
 namespace {
+
+/// Front-end-side shard RPC metrics (the forked workers never touch
+/// these — their registries are separate address spaces).
+struct RpcMetrics {
+  obs::Counter* frames = nullptr;
+  obs::Counter* errors = nullptr;
+  obs::Histogram* seconds = nullptr;
+};
+
+RpcMetrics& rpc_metrics() {
+  static RpcMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    RpcMetrics m;
+    m.frames = &reg.counter("dabs_shard_rpc_frames_total",
+                            "Shard RPC round trips attempted by the front "
+                            "end.");
+    m.errors = &reg.counter("dabs_shard_rpc_errors_total",
+                            "Shard RPC round trips that failed (transport "
+                            "fault, torn frame, or injected failpoint).");
+    m.seconds = &reg.histogram("dabs_shard_rpc_seconds",
+                               "Shard RPC round-trip latency in seconds.",
+                               obs::Histogram::default_latency_bounds());
+    return m;
+  }();
+  return metrics;
+}
+
+void note_rpc_failure(std::size_t shard, const char* stage) {
+  rpc_metrics().errors->inc();
+  static obs::LogRateLimit gate(5.0);
+  std::uint64_t suppressed = 0;
+  if (gate.allow(&suppressed)) {
+    obs::log(obs::LogLevel::kWarn, "shard", "rpc failed",
+             {{"shard", static_cast<std::uint64_t>(shard)},
+              {"stage", stage},
+              {"suppressed", suppressed}});
+  }
+}
 
 // FNV-1a alone places short, similar strings unevenly around the ring (its
 // high bits barely avalanche, and ring ordering is dominated by high bits),
@@ -97,6 +137,9 @@ ShardGroup::ShardGroup(const JobApi::Config& base, std::size_t shards) {
       if (!config.journal_path.empty()) {
         config.journal_path += ".shard" + std::to_string(k);
       }
+      if (!config.trace_path.empty()) {
+        config.trace_path += ".shard" + std::to_string(k);
+      }
       int code = 1;
       try {
         code = shard_worker_main(child_end.get(), config);
@@ -131,23 +174,29 @@ ApiReply ShardGroup::call(std::size_t shard, const std::string& frame,
   }
   Shard& target = shards_[shard];
   std::lock_guard lock(*target.mu);
+  rpc_metrics().frames->inc();
+  const Stopwatch rtt;
   try {
     // Injected RPC fault (DABS_FAILPOINTS="shard.rpc=..."): fires before
     // any bytes are written, so the frame stream stays in sync and the
     // next call goes through — a 503-then-recover, not a wedged pipe.
     fail::point("shard.rpc");
   } catch (const std::exception& e) {
+    note_rpc_failure(shard, "failpoint");
     return {503, error_body(std::string("shard rpc fault: ") + e.what())};
   }
   if (!target.fd.valid() || !write_frame(target.fd.get(), frame)) {
+    note_rpc_failure(shard, "write");
     return {503, error_body("shard " + std::to_string(shard) +
                             " is unreachable (write): " + errno_string())};
   }
   std::string response;
   if (read_frame(target.fd.get(), &response) != 1) {
+    note_rpc_failure(shard, "read");
     return {503, error_body("shard " + std::to_string(shard) +
                             " is unreachable (read)")};
   }
+  rpc_metrics().seconds->observe(rtt.elapsed_seconds());
   try {
     const io::JsonValue root = io::parse_json(response);
     ApiReply reply;
@@ -172,6 +221,7 @@ ApiReply ShardGroup::call(std::size_t shard, const std::string& frame,
     }
     return reply;
   } catch (const std::exception& e) {
+    note_rpc_failure(shard, "decode");
     return {503, error_body("shard " + std::to_string(shard) +
                             " sent an unreadable response: " + e.what())};
   }
@@ -220,6 +270,27 @@ ApiReply ShardGroup::call_stats(std::size_t shard) {
   return call(shard, out.str(), nullptr, nullptr, nullptr);
 }
 
+ApiReply ShardGroup::call_metrics(std::size_t shard) {
+  std::ostringstream out;
+  {
+    io::JsonWriter json(out);
+    json.begin_object().value("op", "metrics").end_object();
+  }
+  return call(shard, out.str(), nullptr, nullptr, nullptr);
+}
+
+ShardBackend::ShardBackend(ShardGroup& group)
+    : group_(group), ring_(group.shards()) {
+  auto& reg = obs::MetricsRegistry::global();
+  submit_counters_.reserve(group_.shards());
+  for (std::size_t k = 0; k < group_.shards(); ++k) {
+    submit_counters_.push_back(
+        &reg.counter("dabs_shard_submits_total",
+                     "Submissions routed to each shard by the front end.",
+                     {{"shard", std::to_string(k)}}));
+  }
+}
+
 ApiReply ShardBackend::submit(const std::string& body) {
   service::BatchJob job;
   try {
@@ -227,7 +298,9 @@ ApiReply ShardBackend::submit(const std::string& body) {
   } catch (const std::exception& e) {
     return {400, error_body(e.what())};  // reject before spending an RPC
   }
-  return group_.call_submit(ring_.owner(routing_key(job)), body);
+  const std::size_t owner = ring_.owner(routing_key(job));
+  submit_counters_[owner]->inc();
+  return group_.call_submit(owner, body);
 }
 
 ApiReply ShardBackend::status(std::uint64_t id) {
@@ -256,6 +329,42 @@ ApiReply ShardBackend::stats() {
   }
   merged += "]}";
   return {200, merged};
+}
+
+ApiReply ShardBackend::metrics() {
+  // Merge every worker's registry snapshot under shard="k" labels, plus
+  // the front-end process's own registry (HTTP + RPC metrics) under
+  // shard="front".  A worker whose RPC fails is skipped — the scrape
+  // still succeeds with the shards that answered (and the failure shows
+  // up in dabs_shard_rpc_errors_total).
+  std::vector<obs::MetricsSnapshot> parts;
+  parts.reserve(group_.shards() + 1);
+  for (std::size_t k = 0; k < group_.shards(); ++k) {
+    const ApiReply reply = group_.call_metrics(k);
+    if (reply.status != 200) continue;
+    try {
+      obs::MetricsSnapshot snap = obs::parse_snapshot_json(reply.body);
+      obs::add_label(snap, "shard", std::to_string(k));
+      parts.push_back(std::move(snap));
+    } catch (const std::exception& e) {
+      static obs::LogRateLimit gate(5.0);
+      std::uint64_t suppressed = 0;
+      if (gate.allow(&suppressed)) {
+        obs::log(obs::LogLevel::kWarn, "shard",
+                 "unreadable metrics snapshot",
+                 {{"shard", static_cast<std::uint64_t>(k)},
+                  {"error", e.what()},
+                  {"suppressed", suppressed}});
+      }
+    }
+  }
+  obs::MetricsSnapshot front = obs::MetricsRegistry::global().snapshot();
+  obs::add_label(front, "shard", "front");
+  parts.push_back(std::move(front));
+
+  std::ostringstream out;
+  obs::render_prometheus(obs::merge_snapshots(parts), out);
+  return {200, out.str()};
 }
 
 }  // namespace dabs::net

@@ -33,6 +33,7 @@
 
 #include "net/job_api.hpp"
 #include "net/net_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace dabs::net {
 
@@ -79,6 +80,9 @@ class ShardGroup {
   ApiReply call_events(std::size_t shard, std::uint64_t id,
                        std::uint64_t* cursor, bool* done, std::size_t* count);
   ApiReply call_stats(std::size_t shard);
+  /// The worker's registry as a snapshot-JSON body (see JobApi::
+  /// metrics_snapshot_json); transport failures come back as 503.
+  ApiReply call_metrics(std::size_t shard);
 
  private:
   struct Shard {
@@ -100,8 +104,7 @@ class ShardGroup {
 /// id-keyed operations route by id modulo, stats fans out to every shard.
 class ShardBackend final : public JobBackend {
  public:
-  explicit ShardBackend(ShardGroup& group)
-      : group_(group), ring_(group.shards()) {}
+  explicit ShardBackend(ShardGroup& group);
 
   ApiReply submit(const std::string& body) override;
   ApiReply status(std::uint64_t id) override;
@@ -109,12 +112,18 @@ class ShardBackend final : public JobBackend {
                   std::size_t* count) override;
   ApiReply cancel(std::uint64_t id) override;
   ApiReply stats() override;
+  /// One Prometheus exposition covering every worker's registry (labelled
+  /// shard="k") plus this front-end process's own (shard="front").
+  ApiReply metrics() override;
+  std::size_t shards() const override { return group_.shards(); }
 
   const HashRing& ring() const noexcept { return ring_; }
 
  private:
   ShardGroup& group_;
   HashRing ring_;
+  /// dabs_shard_submits_total{shard="k"}: routing decisions per worker.
+  std::vector<obs::Counter*> submit_counters_;
 };
 
 }  // namespace dabs::net

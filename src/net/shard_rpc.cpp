@@ -115,6 +115,11 @@ int shard_worker_main(int fd, const JobApi::Config& config) {
         const ApiReply reply = api.stats();
         status = reply.status;
         body = reply.body;
+      } else if (name == "metrics") {
+        // The raw registry snapshot, not rendered text: the parent merges
+        // every worker's snapshot under per-shard labels before rendering.
+        status = 200;
+        body = JobApi::metrics_snapshot_json();
       } else if (name == "events") {
         is_events = true;
         const io::JsonValue* c = request.find("cursor");

@@ -1,11 +1,14 @@
 #include "net/solve_server.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "core/solver_registry.hpp"
 #include "io/json_writer.hpp"
+#include "obs/build_info.hpp"
 #include "problems/problem_registry.hpp"
 
 namespace dabs::net {
@@ -92,11 +95,20 @@ SolveServer::SolveServer(Config config, JobBackend& backend)
 HttpResult SolveServer::route(const HttpRequest& request) {
   if (request.path == "/v1/healthz") {
     if (request.method != "GET") return reply(405, error_body("GET only"));
-    return reply(200, "{\"status\": \"ok\"}");
+    return healthz_result();
   }
   if (request.path == "/v1/stats") {
     if (request.method != "GET") return reply(405, error_body("GET only"));
     return stats_result();
+  }
+  if (request.path == "/v1/metrics") {
+    if (request.method != "GET") return reply(405, error_body("GET only"));
+    HttpResult result = from_api(backend_.metrics());
+    if (result.response.status == 200) {
+      result.response.content_type =
+          "text/plain; version=0.0.4; charset=utf-8";
+    }
+    return result;
   }
   if (request.path == "/v1/solvers") {
     if (request.method != "GET") return reply(405, error_body("GET only"));
@@ -242,6 +254,34 @@ HttpResult SolveServer::handle_jobs_path(const HttpRequest& request) {
     return result;
   }
   return reply(404, error_body("no route for '" + request.path + "'"));
+}
+
+HttpResult SolveServer::healthz_result() {
+  const obs::BuildInfo& build = obs::build_info();
+  std::ostringstream out;
+  {
+    io::JsonWriter json(out);
+    json.begin_object()
+        .value("status", "ok")
+        .value("uptime_seconds", uptime_.elapsed_seconds())
+        .value("pid", static_cast<std::int64_t>(::getpid()))
+        .value("shards", static_cast<std::uint64_t>(backend_.shards()));
+    if (config_.shard_of_idx) {
+      json.value("shard_of_idx",
+                 static_cast<std::uint64_t>(*config_.shard_of_idx))
+          .value("shard_of_total",
+                 static_cast<std::uint64_t>(config_.shard_of_total));
+    }
+    json.begin_object("build")
+        .value("version", build.version)
+        .value("git", build.git)
+        .value("compiler", build.compiler)
+        .value("build_type", build.build_type)
+        .value("flags", build.flags)
+        .end_object();
+    json.end_object();
+  }
+  return reply(200, out.str());
 }
 
 HttpResult SolveServer::stats_result() {

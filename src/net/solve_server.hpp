@@ -7,8 +7,12 @@
 //   DELETE /v1/jobs/{id}        cancel
 //   GET    /v1/solvers          solver registry listing
 //   GET    /v1/problems         problem registry listing
-//   GET    /v1/healthz          liveness
+//   GET    /v1/healthz          liveness + uptime, pid, shard topology,
+//                               build info
 //   GET    /v1/stats            backend stats + HTTP counters
+//   GET    /v1/metrics          Prometheus text exposition (sharded
+//                               topologies aggregate every worker's
+//                               registry with per-shard labels)
 //
 // Status mapping: 400 schema/parse (the batch runner's validation
 // messages), 404 unknown id, 409 cancel of a terminal job, 413/431 size
@@ -29,6 +33,7 @@
 #include "net/http_server.hpp"
 #include "net/job_api.hpp"
 #include "net/shard_router.hpp"
+#include "util/timer.hpp"
 
 namespace dabs::net {
 
@@ -59,9 +64,12 @@ class SolveServer {
   HttpResult route(const HttpRequest& request);
   HttpResult handle_jobs_path(const HttpRequest& request);
   HttpResult stats_result();
+  HttpResult healthz_result();
 
   Config config_;
   JobBackend& backend_;
+  /// Server lifetime, for /v1/healthz uptime_seconds.
+  Stopwatch uptime_;
   /// Only used in --shard-of mode, for submit-key ownership checks.
   HashRing ring_;
   HttpServer http_;  // declared last: its handler captures `this`

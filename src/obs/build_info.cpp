@@ -1,0 +1,15 @@
+#include "obs/build_info.hpp"
+
+#include "dabs_version.hpp"
+
+namespace dabs::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      DABS_VERSION_STRING, DABS_GIT_DESCRIBE, DABS_CXX_COMPILER,
+      DABS_BUILD_TYPE,     DABS_CXX_FLAGS,
+  };
+  return info;
+}
+
+}  // namespace dabs::obs

@@ -1,0 +1,22 @@
+// Build provenance for /v1/healthz: version, git describe, compiler, and
+// flags, captured at configure time into a generated header
+// (build/generated/dabs_version.hpp) that only build_info.cpp includes —
+// so nothing else rebuilds when the git hash moves.
+#pragma once
+
+#include <string>
+
+namespace dabs::obs {
+
+struct BuildInfo {
+  std::string version;     // project version, e.g. "0.1.0"
+  std::string git;         // `git describe --always --dirty`, or "unknown"
+  std::string compiler;    // "GNU 13.2.0"
+  std::string build_type;  // "Release", "RelWithDebInfo", ...
+  std::string flags;       // CMAKE_CXX_FLAGS + per-build-type flags
+};
+
+/// The values baked into this binary.
+const BuildInfo& build_info();
+
+}  // namespace dabs::obs

@@ -1,0 +1,252 @@
+#include "obs/log.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace dabs::obs {
+namespace {
+
+struct LogConfig {
+  LogLevel level = LogLevel::kWarn;
+  bool json = false;
+};
+
+std::mutex& sink_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::function<void(const std::string&)>& sink_ref() {
+  static std::function<void(const std::string&)> sink;
+  return sink;
+}
+
+LogConfig parse_spec(std::string_view spec) {
+  LogConfig config;
+  std::string_view level = spec;
+  const std::size_t comma = spec.find(',');
+  if (comma != std::string_view::npos) {
+    level = spec.substr(0, comma);
+    std::string_view rest = spec.substr(comma + 1);
+    if (rest == "json") config.json = true;
+  }
+  if (level == "debug") {
+    config.level = LogLevel::kDebug;
+  } else if (level == "info") {
+    config.level = LogLevel::kInfo;
+  } else if (level == "warn" || level.empty()) {
+    config.level = LogLevel::kWarn;
+  } else if (level == "error") {
+    config.level = LogLevel::kError;
+  } else if (level == "off") {
+    config.level = LogLevel::kOff;
+  } else {
+    config.level = LogLevel::kWarn;
+  }
+  return config;
+}
+
+LogConfig initial_config() {
+  const char* env = std::getenv("DABS_LOG");
+  return parse_spec(env == nullptr ? std::string_view{} : env);
+}
+
+// Packed as level | (json << 8) in one atomic so readers never see a torn
+// config.
+std::atomic<unsigned>& config_word() {
+  static std::atomic<unsigned> word([] {
+    const LogConfig c = initial_config();
+    return static_cast<unsigned>(c.level) | (c.json ? 0x100u : 0u);
+  }());
+  return word;
+}
+
+LogConfig current_config() noexcept {
+  const unsigned word = config_word().load(std::memory_order_relaxed);
+  LogConfig c;
+  c.level = static_cast<LogLevel>(word & 0xff);
+  c.json = (word & 0x100u) != 0;
+  return c;
+}
+
+void format_timestamp(char* buf, std::size_t size) {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  tm parts{};
+  const time_t secs = ts.tv_sec;
+  gmtime_r(&secs, &parts);
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                parts.tm_hour, parts.tm_min, parts.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1000000));
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+}
+
+// Raw EINTR-safe write to stderr.  Deliberately not net_util's write_all —
+// obs sits below net in the layer order and must not depend on it.  Errors
+// (including EPIPE; SIGPIPE is ignored/handled process-wide by the CLI and
+// server paths) are swallowed: logging must never take the process down.
+void write_stderr(const std::string& line) {
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(2, data, left);
+    if (n > 0) {
+      data += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EPIPE, EAGAIN on a weird stderr, ENOSPC... drop the line.
+  }
+}
+
+std::int64_t steady_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+LogLevel log_level() noexcept { return current_config().level; }
+
+bool log_enabled(LogLevel level) noexcept {
+  return level >= current_config().level && level != LogLevel::kOff;
+}
+
+void log_configure(std::string_view spec) {
+  const LogConfig c = parse_spec(spec);
+  config_word().store(
+      static_cast<unsigned>(c.level) | (c.json ? 0x100u : 0u),
+      std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view component, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  const LogConfig config = current_config();
+  if (level < config.level || level == LogLevel::kOff) return;
+
+  char stamp[96];
+  format_timestamp(stamp, sizeof(stamp));
+
+  std::string line;
+  line.reserve(128);
+  if (config.json) {
+    line += "{\"ts\":\"";
+    line += stamp;
+    line += "\",\"level\":\"";
+    line += to_string(level);
+    line += "\",\"component\":\"";
+    append_json_escaped(line, component);
+    line += "\",\"msg\":\"";
+    append_json_escaped(line, message);
+    line += '"';
+    for (const LogField& f : fields) {
+      line += ",\"";
+      append_json_escaped(line, f.key);
+      line += "\":\"";
+      append_json_escaped(line, f.value);
+      line += '"';
+    }
+    line += "}\n";
+  } else {
+    line += stamp;
+    line += ' ';
+    line += to_string(level);
+    line += ' ';
+    line += component;
+    line += ": ";
+    line += message;
+    for (const LogField& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += "=\"";
+      for (char c : f.value) {
+        if (c == '"' || c == '\\') line += '\\';
+        line += c == '\n' ? ' ' : c;
+      }
+      line += '"';
+    }
+    line += '\n';
+  }
+
+  std::lock_guard<std::mutex> lock(sink_mu());
+  auto& sink = sink_ref();
+  if (sink) {
+    sink(line);
+  } else {
+    write_stderr(line);
+  }
+}
+
+void log_set_sink(std::function<void(const std::string& line)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mu());
+  sink_ref() = std::move(sink);
+}
+
+bool LogRateLimit::allow(std::uint64_t* suppressed) noexcept {
+  const std::int64_t now = steady_ns();
+  std::int64_t last = last_ns_.load(std::memory_order_relaxed);
+  // last == 0 means "never fired"; the first caller always wins.
+  if (last != 0 && now - last < interval_ns_) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!last_ns_.compare_exchange_strong(last, now,
+                                        std::memory_order_relaxed)) {
+    // Another thread claimed this interval.
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (suppressed != nullptr) {
+    *suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace dabs::obs

@@ -1,0 +1,146 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "io/json_writer.hpp"
+#include "obs/log.hpp"
+
+namespace dabs::obs {
+namespace {
+
+std::int64_t to_micros(double seconds) {
+  if (seconds < 0) return 0;
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+void write_args(io::JsonWriter& w,
+                const std::vector<std::pair<std::string, std::string>>& args) {
+  if (args.empty()) return;
+  w.begin_object("args");
+  for (const auto& [k, v] : args) w.value(k, v);
+  w.end_object();
+}
+
+std::string format_energy(double e) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", e);
+  return buf;
+}
+
+}  // namespace
+
+void TraceCollector::add_span(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+void TraceCollector::add_instant(TraceInstant instant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  instants_.push_back(std::move(instant));
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size() + instants_.size();
+}
+
+void TraceCollector::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  io::JsonWriter w(out);
+  w.begin_object();
+  w.begin_array("traceEvents");
+  for (const auto& span : spans_) {
+    w.begin_object();
+    w.value("name", span.name);
+    w.value("cat", span.category.empty() ? "job" : span.category);
+    w.value("ph", "X");
+    w.value("ts", to_micros(span.start_seconds));
+    w.value("dur", to_micros(span.duration_seconds));
+    w.value("pid", span.pid);
+    w.value("tid", span.tid);
+    write_args(w, span.args);
+    w.end_object();
+  }
+  for (const auto& instant : instants_) {
+    w.begin_object();
+    w.value("name", instant.name);
+    w.value("cat", instant.category.empty() ? "job" : instant.category);
+    w.value("ph", "i");
+    w.value("s", "t");
+    w.value("ts", to_micros(instant.at_seconds));
+    w.value("pid", instant.pid);
+    w.value("tid", instant.tid);
+    write_args(w, instant.args);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+bool TraceCollector::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    log(LogLevel::kWarn, "trace", "cannot open trace file",
+        {{"path", path}});
+    return false;
+  }
+  write_chrome_json(out);
+  out.flush();
+  if (!out) {
+    log(LogLevel::kWarn, "trace", "trace file write failed",
+        {{"path", path}});
+    return false;
+  }
+  return true;
+}
+
+void append_job_trace(TraceCollector& collector, const JobTrace& job) {
+  if (job.submitted_seconds < 0 || job.finished_seconds < 0) return;
+
+  const std::uint64_t tid = job.job_id;
+  std::vector<std::pair<std::string, std::string>> args;
+  if (!job.tag.empty()) args.emplace_back("tag", job.tag);
+  if (!job.solver.empty()) args.emplace_back("solver", job.solver);
+  if (!job.state.empty()) args.emplace_back("state", job.state);
+  args.emplace_back("job_id", std::to_string(job.job_id));
+
+  const bool ran = job.started_seconds >= job.submitted_seconds;
+  const double queued_end = ran ? job.started_seconds : job.finished_seconds;
+
+  TraceSpan queued;
+  queued.name = "queued";
+  queued.category = "job";
+  queued.tid = tid;
+  queued.start_seconds = job.submitted_seconds;
+  queued.duration_seconds = queued_end - job.submitted_seconds;
+  queued.args = args;
+  collector.add_span(std::move(queued));
+
+  if (ran) {
+    TraceSpan run;
+    run.name = job.solver.empty() ? "run" : "run:" + job.solver;
+    run.category = "job";
+    run.tid = tid;
+    run.start_seconds = job.started_seconds;
+    run.duration_seconds = job.finished_seconds - job.started_seconds;
+    run.args = std::move(args);
+    collector.add_span(std::move(run));
+
+    for (const auto& tick : job.ticks) {
+      TraceInstant instant;
+      instant.name = tick.kind;
+      instant.category = "progress";
+      instant.tid = tid;
+      instant.at_seconds = job.started_seconds + tick.at_seconds;
+      instant.args.emplace_back("best_energy", format_energy(tick.best_energy));
+      instant.args.emplace_back("work", std::to_string(tick.work));
+      collector.add_instant(std::move(instant));
+    }
+  }
+}
+
+}  // namespace dabs::obs

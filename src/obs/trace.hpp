@@ -1,0 +1,94 @@
+// Per-job trace spans, dumped as Chrome trace-event JSON ("Trace Event
+// Format", the array-of-events form) so a multi-job batch or server run
+// opens directly in chrome://tracing / Perfetto as a flame view: one row
+// per job, a "queued" span from submission to first execution, a
+// "run:<solver>" span to the terminal state, and instant markers for the
+// progress ticks in between.
+//
+// The collector itself is generic (spans + instants, thread-safe append);
+// append_job_trace() maps one job's lifecycle — the timestamps carried by
+// service::JobSnapshot — onto it.  All times are seconds on one process's
+// service epoch; Chrome wants microseconds, the writer converts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dabs::obs {
+
+/// ph:"X" complete event.
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;  // chrome renders one row per (pid, tid)
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// ph:"i" instant event (thread scope).
+struct TraceInstant {
+  std::string name;
+  std::string category;
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;
+  double at_seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceCollector {
+ public:
+  void add_span(TraceSpan span);
+  void add_instant(TraceInstant instant);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// {"traceEvents": [...]} — the envelope chrome://tracing expects.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Writes the Chrome JSON to `path`; on failure logs a warning (component
+  /// "trace") and returns false instead of throwing — tracing must never
+  /// fail a run that otherwise succeeded.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+};
+
+/// One finished (or at least submitted) job's lifecycle, decoupled from the
+/// service layer's types so obs stays dependency-free: the service/net
+/// callers copy the handful of fields out of their JobSnapshot.
+/// Timestamps are seconds on the owning service's epoch; negative means
+/// "never reached" (e.g. started_seconds for a rejected job).
+struct JobTrace {
+  std::uint64_t job_id = 0;
+  std::string tag;
+  std::string solver;
+  std::string state;  // terminal state name: done/failed/cancelled/rejected
+  double submitted_seconds = -1.0;
+  double started_seconds = -1.0;
+  double finished_seconds = -1.0;
+
+  struct Tick {
+    std::string kind;       // "tick" | "new_best"
+    double at_seconds = 0;  // relative to started_seconds
+    double best_energy = 0;
+    std::uint64_t work = 0;
+  };
+  std::vector<Tick> ticks;
+};
+
+/// Maps one job onto the collector: queued span, run span, tick instants.
+/// Jobs that never started get a single queued span to their terminal time;
+/// jobs with no terminal time (still live at dump) are skipped.
+void append_job_trace(TraceCollector& collector, const JobTrace& job);
+
+}  // namespace dabs::obs

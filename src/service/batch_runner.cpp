@@ -17,6 +17,8 @@
 
 #include "io/json_reader.hpp"
 #include "io/json_writer.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "problems/problem.hpp"
 #include "service/job_journal.hpp"
 #include "util/failpoint.hpp"
@@ -276,12 +278,20 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
     try {
       journal->append(record);
     } catch (const std::exception& e) {
-      std::lock_guard lock(journal_mu);
-      if (journal_errors == 0) {
-        err << "batch: journal append failed: " << e.what()
-            << " (continuing without durability)\n";
+      {
+        std::lock_guard lock(journal_mu);
+        if (journal_errors == 0) {
+          err << "batch: journal append failed: " << e.what()
+              << " (continuing without durability)\n";
+        }
+        ++journal_errors;
       }
-      ++journal_errors;
+      static obs::LogRateLimit gate(5.0);
+      std::uint64_t suppressed = 0;
+      if (gate.allow(&suppressed)) {
+        obs::log(obs::LogLevel::kWarn, "journal", "append failed",
+                 {{"error", e.what()}, {"suppressed", suppressed}});
+      }
     }
   };
 
@@ -363,6 +373,7 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
   // job's record so an arbitrarily long batch holds only in-flight jobs.
   std::size_t failed = 0;
   std::size_t cancelled = 0;
+  obs::TraceCollector trace;  // only populated when --trace is set
   const auto emit_report = [&](JobId id) {
     const PendingJob& pending = in_flight.at(id);
     JobSnapshot snap = service.snapshot(id);
@@ -449,6 +460,9 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
         break;
     }
     if (!record.fingerprint.empty()) journal_append(record);
+    if (!options.trace_path.empty()) {
+      obs::append_job_trace(trace, job_trace(snap));
+    }
     service.release(id);
     const std::string spec_key = pending.spec_key;
     in_flight.erase(id);  // invalidates `pending`
@@ -670,6 +684,15 @@ int run_batch(std::istream& jobs_in, std::ostream& out, std::ostream& err,
       if (!id) break;
     }
     emit_report(*id);
+  }
+
+  if (!options.trace_path.empty()) {
+    if (trace.write_file(options.trace_path)) {
+      err << "batch: wrote trace to " << options.trace_path << "\n";
+    } else {
+      err << "batch: failed to write trace to " << options.trace_path
+          << "\n";
+    }
   }
 
   const ModelCache::Stats cache = service.cache().stats();

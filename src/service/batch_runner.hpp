@@ -91,6 +91,10 @@ struct BatchOptions {
   /// SIGINT handler), the runner stops intake, cancels outstanding jobs,
   /// flushes journal + earned reports, and returns 130.
   const std::atomic<bool>* interrupt = nullptr;
+  /// When non-empty, every finished job's lifecycle (queued / run spans,
+  /// progress instants) is dumped as Chrome trace-event JSON here when the
+  /// batch drains — load it at chrome://tracing (`dabs_cli batch --trace`).
+  std::string trace_path;
 };
 
 /// One parsed job line, model not yet loaded.  Exactly one of

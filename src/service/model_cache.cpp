@@ -3,7 +3,45 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dabs::service {
+
+namespace {
+
+/// Process-wide cache metrics.  Counters aggregate across every ModelCache
+/// instance; the resident gauges track whichever cache updated last (in
+/// production there is one service-owned cache per process).
+struct CacheMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Gauge* bytes = nullptr;
+  obs::Gauge* entries = nullptr;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    CacheMetrics m;
+    m.hits = &reg.counter("dabs_model_cache_hits_total",
+                          "Model-cache lookups served from cache (key or "
+                          "content hit).");
+    m.misses = &reg.counter("dabs_model_cache_misses_total",
+                            "Model-cache lookups that interned a new model.");
+    m.evictions = &reg.counter("dabs_model_cache_evictions_total",
+                               "Entries evicted to stay within the byte "
+                               "budget.");
+    m.bytes = &reg.gauge("dabs_model_cache_resident_bytes",
+                         "Approximate bytes of resident cached models.");
+    m.entries = &reg.gauge("dabs_model_cache_entries",
+                           "Resident cached models.");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 namespace {
 
@@ -87,6 +125,7 @@ std::shared_ptr<const QuboModel> ModelCache::get_or_load(
     if (it != by_key_.end()) {
       touch_locked(it->second);
       ++stats_.hits;
+      cache_metrics().hits->inc();
       if (was_hit) *was_hit = true;
       return it->second->model;
     }
@@ -109,6 +148,7 @@ std::shared_ptr<const QuboModel> ModelCache::intern_locked(
           entry->keys.push_back(*key);
         }
         ++stats_.hits;
+        cache_metrics().hits->inc();
         if (was_hit) *was_hit = true;
         return entry->model;
       }
@@ -116,6 +156,7 @@ std::shared_ptr<const QuboModel> ModelCache::intern_locked(
   }
 
   ++stats_.misses;
+  cache_metrics().misses->inc();
   if (was_hit) *was_hit = false;
   auto shared = std::make_shared<const QuboModel>(std::move(model));
   const std::size_t bytes = approximate_bytes(*shared);
@@ -130,6 +171,8 @@ std::shared_ptr<const QuboModel> ModelCache::intern_locked(
   stats_.bytes += bytes;
   stats_.entries = lru_.size();
   evict_locked();
+  cache_metrics().bytes->set(static_cast<std::int64_t>(stats_.bytes));
+  cache_metrics().entries->set(static_cast<std::int64_t>(stats_.entries));
   return shared;
 }
 
@@ -143,6 +186,7 @@ void ModelCache::evict_locked() {
   while (stats_.bytes > max_bytes_ && lru_.size() > 1) {
     drop_entry_locked(std::prev(lru_.end()));
     ++stats_.evictions;
+    cache_metrics().evictions->inc();
   }
 }
 
@@ -164,6 +208,8 @@ ModelCache::Stats ModelCache::stats() const {
 void ModelCache::clear() {
   std::lock_guard lock(mu_);
   while (!lru_.empty()) drop_entry_locked(lru_.begin());
+  cache_metrics().bytes->set(static_cast<std::int64_t>(stats_.bytes));
+  cache_metrics().entries->set(static_cast<std::int64_t>(stats_.entries));
 }
 
 }  // namespace dabs::service

@@ -1,13 +1,128 @@
 #include "service/solver_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "rng/xorshift.hpp"
 #include "util/failpoint.hpp"
 
 namespace dabs::service {
+namespace {
+
+/// Registry handles, resolved once.  All updates are relaxed atomics; the
+/// solver progress counters are fed from the ProgressObserver boundary
+/// (EventLogObserver), never from inside the flip kernels.
+struct ServiceMetrics {
+  obs::Counter* submitted = nullptr;
+  obs::Counter* terminal_done = nullptr;
+  obs::Counter* terminal_failed = nullptr;
+  obs::Counter* terminal_cancelled = nullptr;
+  obs::Counter* terminal_rejected = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* deadline_hits = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* active = nullptr;
+  obs::Histogram* job_seconds_done = nullptr;
+  obs::Histogram* job_seconds_failed = nullptr;
+  obs::Histogram* job_seconds_cancelled = nullptr;
+  obs::Histogram* job_seconds_rejected = nullptr;
+  obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* first_event = nullptr;
+  obs::Counter* progress_work = nullptr;
+  obs::Counter* progress_new_best = nullptr;
+  obs::Counter* progress_ticks = nullptr;
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    const auto& latency = obs::Histogram::default_latency_bounds();
+    ServiceMetrics m;
+    m.submitted =
+        &reg.counter("dabs_service_jobs_submitted_total",
+                     "Lifetime job submissions, rejected ones included.");
+    const char* terminal_help =
+        "Jobs reaching a terminal state, by disposition.";
+    m.terminal_done = &reg.counter("dabs_service_jobs_terminal_total",
+                                   terminal_help, {{"disposition", "done"}});
+    m.terminal_failed = &reg.counter("dabs_service_jobs_terminal_total",
+                                     terminal_help, {{"disposition", "failed"}});
+    m.terminal_cancelled =
+        &reg.counter("dabs_service_jobs_terminal_total", terminal_help,
+                     {{"disposition", "cancelled"}});
+    m.terminal_rejected =
+        &reg.counter("dabs_service_jobs_terminal_total", terminal_help,
+                     {{"disposition", "rejected"}});
+    m.retries = &reg.counter("dabs_service_retries_total",
+                             "Retry backoffs entered after retryable "
+                             "solve() failures.");
+    m.deadline_hits =
+        &reg.counter("dabs_service_deadline_hits_total",
+                     "Watchdog deadline expirations that fired a job's "
+                     "StopToken or retired it in queue.");
+    m.queue_depth = &reg.gauge("dabs_service_queue_depth",
+                               "Jobs submitted and not yet picked up.");
+    m.active = &reg.gauge("dabs_service_active_jobs",
+                          "Jobs inside Solver::solve right now.");
+    const char* job_seconds_help =
+        "Submit-to-terminal latency by disposition.";
+    m.job_seconds_done =
+        &reg.histogram("dabs_service_job_seconds", job_seconds_help, latency,
+                       {{"disposition", "done"}});
+    m.job_seconds_failed =
+        &reg.histogram("dabs_service_job_seconds", job_seconds_help, latency,
+                       {{"disposition", "failed"}});
+    m.job_seconds_cancelled =
+        &reg.histogram("dabs_service_job_seconds", job_seconds_help, latency,
+                       {{"disposition", "cancelled"}});
+    m.job_seconds_rejected =
+        &reg.histogram("dabs_service_job_seconds", job_seconds_help, latency,
+                       {{"disposition", "rejected"}});
+    m.queue_wait =
+        &reg.histogram("dabs_service_queue_wait_seconds",
+                       "Submit-to-pickup wait for jobs that ran.", latency);
+    m.first_event = &reg.histogram(
+        "dabs_service_submit_to_first_event_seconds",
+        "Submit to first progress event (the submit->first-tick latency "
+        "behind the HTTP event stream).",
+        latency);
+    m.progress_work =
+        &reg.counter("dabs_solver_progress_work_total",
+                     "Aggregate solver work units (flips) as sampled at "
+                     "the ProgressObserver boundary.");
+    const char* events_help = "Progress events observed, by kind.";
+    m.progress_new_best =
+        &reg.counter("dabs_solver_progress_events_total", events_help,
+                     {{"kind", "new_best"}});
+    m.progress_ticks = &reg.counter("dabs_solver_progress_events_total",
+                                    events_help, {{"kind", "tick"}});
+    return m;
+  }();
+  return metrics;
+}
+
+obs::Histogram* job_seconds_for(const ServiceMetrics& m, JobState state) {
+  switch (state) {
+    case JobState::kDone: return m.job_seconds_done;
+    case JobState::kFailed: return m.job_seconds_failed;
+    case JobState::kCancelled: return m.job_seconds_cancelled;
+    case JobState::kRejected: return m.job_seconds_rejected;
+    case JobState::kQueued:
+    case JobState::kRunning: break;
+  }
+  return nullptr;
+}
+
+std::string format_seconds(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
 
 const char* to_string(JobState state) noexcept {
   switch (state) {
@@ -61,6 +176,13 @@ struct SolverService::Job {
   std::vector<JobEvent> events;
   std::size_t ring_next = 0;
   std::uint64_t events_dropped = 0;
+  /// Lifecycle timestamps on the service epoch (see JobSnapshot).
+  double submitted_seconds = -1.0;
+  double started_seconds = -1.0;
+  double finished_seconds = -1.0;
+  /// First progress event already counted into the submit->first-event
+  /// latency histogram.
+  bool first_event_recorded = false;
 };
 
 /// The service-owned ProgressObserver: forwards a running job's new-best /
@@ -72,19 +194,38 @@ class SolverService::EventLogObserver final : public ProgressObserver {
       : service_(service), job_(job) {}
 
   void on_new_best(const ProgressEvent& event) override {
+    note_progress(event, /*new_best=*/true);
     append({JobEvent::Kind::kNewBest, event.elapsed_seconds,
             event.best_energy, event.work});
   }
   void on_tick(const ProgressEvent& event) override {
+    note_progress(event, /*new_best=*/false);
     append({JobEvent::Kind::kTick, event.elapsed_seconds, event.best_energy,
             event.work});
   }
 
  private:
+  /// Aggregate solver-throughput metrics, sampled here at the observer
+  /// boundary (a handful of relaxed counter adds per event) so the flip
+  /// kernels stay untouched.
+  void note_progress(const ProgressEvent& event, bool new_best) {
+    ServiceMetrics& m = service_metrics();
+    (new_best ? m.progress_new_best : m.progress_ticks)->inc();
+    if (event.work > last_work_) {
+      m.progress_work->inc(event.work - last_work_);
+      last_work_ = event.work;
+    }
+  }
+
   void append(const JobEvent& event) {
     const std::size_t cap = service_.config_.max_events_per_job;
-    if (cap == 0) return;
     std::lock_guard lock(service_.mu_);
+    if (!job_.first_event_recorded && job_.submitted_seconds >= 0.0) {
+      job_.first_event_recorded = true;
+      service_metrics().first_event->observe(
+          service_.epoch_.elapsed_seconds() - job_.submitted_seconds);
+    }
+    if (cap == 0) return;
     if (job_.events.size() < cap) {
       job_.events.push_back(event);
     } else {
@@ -96,6 +237,7 @@ class SolverService::EventLogObserver final : public ProgressObserver {
 
   SolverService& service_;
   Job& job_;
+  std::uint64_t last_work_ = 0;  // cumulative work at the last event
 };
 
 SolverService::SolverService() : SolverService(Config{}) {}
@@ -151,10 +293,12 @@ JobId SolverService::submit(JobSpec spec) {
                pending_.size() >= config_.max_queue_depth;
     id = next_id_++;
     ++stat_submitted_;
+    service_metrics().submitted->inc();
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = std::move(spec);
     job->solver = std::move(solver);
+    job->submitted_seconds = epoch_.elapsed_seconds();
     if (rejected) {
       job->error = "rejected: queue depth " +
                    std::to_string(pending_.size()) + " at the configured " +
@@ -178,6 +322,7 @@ JobId SolverService::submit(JobSpec spec) {
     }
     jobs_.emplace(id, std::move(job));
     ++unclaimed_;
+    update_gauges_locked();
   }
   // One drain task per submission: each pops whichever pending job is
   // highest-priority at the time it runs, so a plain FIFO pool yields
@@ -196,6 +341,12 @@ void SolverService::run_one() {
     pending_.erase(it);
     job->state = JobState::kRunning;
     ++running_;
+    job->started_seconds = epoch_.elapsed_seconds();
+    if (job->submitted_seconds >= 0.0) {
+      service_metrics().queue_wait->observe(job->started_seconds -
+                                            job->submitted_seconds);
+    }
+    update_gauges_locked();
   }
   if (config_.on_started) config_.on_started(job->id, job->spec);
 
@@ -232,6 +383,7 @@ void SolverService::run_one() {
     // Bounded exponential backoff before the next attempt.  The sleeping
     // worker stays responsive: cancel(), a deadline firing, and service
     // shutdown all interrupt the wait (cancel/watchdog notify cv_).
+    service_metrics().retries->inc();
     const double backoff = retry_backoff(job->spec.retry_backoff_seconds,
                                          job->spec.retry_backoff_max_seconds,
                                          attempt, job->id);
@@ -295,6 +447,7 @@ void SolverService::watchdog_loop() {
       if (it == jobs_.end() || is_terminal(it->second->state)) continue;
       Job& job = *it->second;
       job.deadline_exceeded = true;
+      service_metrics().deadline_hits->inc();
       if (job.state == JobState::kQueued) {
         // Never ran and never will: retire in place.
         pending_.erase(PendingKey{job.spec.priority, job.id});
@@ -321,25 +474,42 @@ SolveRequest SolverService::request_for(const Job& job,
   return req;
 }
 
+void SolverService::update_gauges_locked() {
+  ServiceMetrics& m = service_metrics();
+  m.queue_depth->set(static_cast<std::int64_t>(pending_.size()));
+  m.active->set(static_cast<std::int64_t>(running_));
+}
+
 void SolverService::finalize_locked(Job& job, JobState state) {
   job.state = state;
+  job.finished_seconds = epoch_.elapsed_seconds();
+  ServiceMetrics& metrics = service_metrics();
   switch (state) {
     case JobState::kDone:
       ++stat_done_;
+      metrics.terminal_done->inc();
       break;
     case JobState::kFailed:
       ++stat_failed_;
+      metrics.terminal_failed->inc();
       break;
     case JobState::kCancelled:
       ++stat_cancelled_;
+      metrics.terminal_cancelled->inc();
       break;
     case JobState::kRejected:
       ++stat_rejected_;
+      metrics.terminal_rejected->inc();
       break;
     case JobState::kQueued:
     case JobState::kRunning:
       break;
   }
+  if (obs::Histogram* h = job_seconds_for(metrics, state);
+      h != nullptr && job.submitted_seconds >= 0.0) {
+    h->observe(job.finished_seconds - job.submitted_seconds);
+  }
+  update_gauges_locked();
   if (job.report.solver.empty()) job.report.solver = job.spec.solver;
   // Caller annotations win over same-named solver extras: the caller set
   // them deliberately per job.
@@ -374,6 +544,18 @@ void SolverService::finalize_locked(Job& job, JobState state) {
       state != JobState::kRejected) {
     job.report.extras["last_error"] = job.error;
   }
+  // Span durations for GET /v1/jobs/{id} / batch reports: how long the job
+  // sat in queue, how long it ran, and the end-to-end total.
+  if (job.submitted_seconds >= 0.0) {
+    job.report.extras["total_seconds"] =
+        format_seconds(job.finished_seconds - job.submitted_seconds);
+    if (job.started_seconds >= 0.0) {
+      job.report.extras["queue_seconds"] =
+          format_seconds(job.started_seconds - job.submitted_seconds);
+      job.report.extras["run_seconds"] =
+          format_seconds(job.finished_seconds - job.started_seconds);
+    }
+  }
   finished_.push_back(job.id);
   cv_.notify_all();
 }
@@ -402,6 +584,9 @@ JobSnapshot SolverService::snapshot_locked(JobId id) const {
   snap.report = job.report;
   snap.error = job.error;
   snap.events_dropped = job.events_dropped;
+  snap.submitted_seconds = job.submitted_seconds;
+  snap.started_seconds = job.started_seconds;
+  snap.finished_seconds = job.finished_seconds;
   // Un-rotate the ring so events come out oldest-first.
   snap.events.reserve(job.events.size());
   for (std::size_t i = 0; i < job.events.size(); ++i) {
@@ -591,6 +776,25 @@ JobEventBatch SolverService::events_since(JobId id,
   }
   cursor = total;
   return batch;
+}
+
+obs::JobTrace job_trace(const JobSnapshot& snapshot) {
+  obs::JobTrace trace;
+  trace.job_id = snapshot.id;
+  trace.tag = snapshot.tag;
+  trace.solver = snapshot.report.solver;
+  trace.state = to_string(snapshot.state);
+  trace.submitted_seconds = snapshot.submitted_seconds;
+  trace.started_seconds = snapshot.started_seconds;
+  trace.finished_seconds = snapshot.finished_seconds;
+  trace.ticks.reserve(snapshot.events.size());
+  for (const JobEvent& event : snapshot.events) {
+    trace.ticks.push_back(obs::JobTrace::Tick{
+        event.kind == JobEvent::Kind::kNewBest ? "new_best" : "tick",
+        event.elapsed_seconds, static_cast<double>(event.best_energy),
+        event.work});
+  }
+  return trace;
 }
 
 }  // namespace dabs::service

@@ -54,8 +54,10 @@
 #include "core/solve_report.hpp"
 #include "core/solver.hpp"
 #include "core/solver_registry.hpp"
+#include "obs/trace.hpp"
 #include "service/model_cache.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace dabs::service {
 
@@ -143,7 +145,19 @@ struct JobSnapshot {
   std::vector<JobEvent> events;
   /// Events discarded once the log was full (oldest are dropped).
   std::uint64_t events_dropped = 0;
+  /// Lifecycle timestamps in seconds on the owning service's monotonic
+  /// epoch (the trace-span source; surfaced as queue/run/total durations
+  /// in the report extras).  Negative = never reached that state.
+  double submitted_seconds = -1.0;
+  double started_seconds = -1.0;   // worker picked the job up
+  double finished_seconds = -1.0;  // reached a terminal state
 };
+
+/// Maps one (ideally terminal) snapshot onto the obs trace model: queued /
+/// run spans from the lifecycle timestamps, tick instants from the event
+/// log.  Callers override job_id afterwards when they expose composed ids
+/// (the sharded server's global ids).
+obs::JobTrace job_trace(const JobSnapshot& snapshot);
 
 /// Incremental slice of one job's event log for streaming consumers (the
 /// HTTP events endpoint).  Produced by SolverService::events_since().
@@ -301,6 +315,7 @@ class SolverService {
   void run_one();
   void watchdog_loop();
   void ensure_watchdog_locked();
+  void update_gauges_locked();
   void finalize_locked(Job& job, JobState state);
   JobSnapshot snapshot_locked(JobId id) const;
   static SolveRequest request_for(const Job& job,
@@ -320,6 +335,8 @@ class SolverService {
 
   const Config config_;
   ModelCache cache_;
+  /// Monotonic zero point for every job lifecycle timestamp.
+  Stopwatch epoch_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -7,8 +7,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -481,7 +483,17 @@ TEST(SolveServerTest, EndToEndJobLifecycle) {
   ServerUnderTest server;
   HttpClient client("127.0.0.1", server.port());
 
-  EXPECT_EQ(client.request("GET", "/v1/healthz").body, R"({"status": "ok"})");
+  const auto health = client.request("GET", "/v1/healthz");
+  EXPECT_EQ(health.status, 200);
+  const auto health_body = parse(health.body);
+  EXPECT_EQ(health_body.find("status")->as_string(), "ok");
+  EXPECT_GE(health_body.find("uptime_seconds")->as_double(), 0.0);
+  EXPECT_GT(health_body.find("pid")->as_int(), 0);
+  EXPECT_EQ(health_body.find("shards")->as_int(), 1);
+  const io::JsonValue* build = health_body.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->find("version")->as_string().empty());
+  EXPECT_FALSE(build->find("compiler")->as_string().empty());
 
   const auto solvers = client.request("GET", "/v1/solvers");
   EXPECT_EQ(solvers.status, 200);
@@ -573,6 +585,157 @@ TEST(SolveServerTest, ErrorStatusMapping) {
   EXPECT_EQ(client.request("GET", "/no/such/route").status, 404);
   EXPECT_EQ(client.request("POST", "/v1/healthz").status, 405);
   EXPECT_EQ(client.request("PUT", "/v1/jobs/3").status, 405);
+}
+
+// ---------------------------------------------------------------------------
+// /v1/metrics
+
+/// Tiny Prometheus text-exposition checker: every comment line is a
+/// well-formed HELP/TYPE, every sample line is `name[{labels}] value` with
+/// a valid identifier and a parsable number.  Returns the sample names.
+std::set<std::string> check_prometheus_text(const std::string& text) {
+  std::set<std::string> names;
+  std::istringstream in(text);
+  std::string line;
+  const auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) return false;
+    }
+    return !(name[0] >= '0' && name[0] <= '9');
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash;
+      std::string what;
+      std::string name;
+      meta >> hash >> what >> name;
+      EXPECT_TRUE(what == "HELP" || what == "TYPE") << line;
+      EXPECT_TRUE(valid_name(name)) << line;
+      if (what == "TYPE") {
+        std::string kind;
+        meta >> kind;
+        EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
+                    kind == "histogram")
+            << line;
+      }
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      // Labels must close right before the value and quote every value.
+      EXPECT_EQ(name.back(), '}') << line;
+      const std::string labels = name.substr(brace + 1,
+                                             name.size() - brace - 2);
+      std::size_t quotes = 0;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] == '"' && (i == 0 || labels[i - 1] != '\\')) ++quotes;
+      }
+      EXPECT_EQ(quotes % 2, 0u) << line;
+      name = name.substr(0, brace);
+    }
+    EXPECT_TRUE(valid_name(name)) << line;
+    char* end = nullptr;
+    const std::string value = line.substr(space + 1);
+    std::strtod(value.c_str(), &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0' && end != value.c_str())
+        << line;
+    names.insert(name);
+  }
+  return names;
+}
+
+TEST(SolveServerTest, MetricsEndpointServesPrometheusText) {
+  ServerUnderTest server;
+  HttpClient client("127.0.0.1", server.port());
+
+  const auto accepted =
+      client.request("POST", "/v1/jobs", small_job(61, 0.05));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const std::uint64_t id = static_cast<std::uint64_t>(
+      parse(accepted.body).find("job_id")->as_int());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const auto status =
+        client.request("GET", "/v1/jobs/" + std::to_string(id));
+    ASSERT_EQ(status.status, 200);
+    const std::string state = state_of(status.body);
+    if (state != "queued" && state != "running") break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  const auto scrape = client.request("GET", "/v1/metrics");
+  ASSERT_EQ(scrape.status, 200);
+  const std::set<std::string> names = check_prometheus_text(scrape.body);
+  // Every instrumented family shows up in one scrape: http, service,
+  // cache, and the solver progress counters.
+  EXPECT_TRUE(names.count("dabs_http_requests_total")) << scrape.body;
+  EXPECT_TRUE(names.count("dabs_service_jobs_submitted_total"));
+  EXPECT_TRUE(names.count("dabs_service_jobs_terminal_total"));
+  EXPECT_TRUE(names.count("dabs_service_queue_depth"));
+  EXPECT_TRUE(names.count("dabs_service_job_seconds_bucket"));
+  EXPECT_TRUE(names.count("dabs_model_cache_misses_total"));
+  EXPECT_EQ(client.request("POST", "/v1/metrics").status, 405);
+}
+
+TEST(ShardGroupTest, MetricsAggregateAcrossShardsWithLabels) {
+  JobApi::Config config = fast_config();
+  ShardGroup group(config, 2);
+  ShardBackend backend(group);
+
+  // Spread a few jobs over both workers, then wait them out.
+  std::vector<std::uint64_t> ids;
+  for (int seed = 0; seed < 6; ++seed) {
+    const ApiReply reply = backend.submit(small_job(seed, 0.05));
+    ASSERT_EQ(reply.status, 202) << reply.body;
+    ids.push_back(job_id_of(reply));
+  }
+  for (const std::uint64_t id : ids) wait_terminal(backend, id);
+
+  const ApiReply scrape = backend.metrics();
+  ASSERT_EQ(scrape.status, 200);
+  const std::set<std::string> names = check_prometheus_text(scrape.body);
+  EXPECT_TRUE(names.count("dabs_service_jobs_submitted_total"));
+  // Worker registries arrive labelled per shard; the front end's own
+  // registry (RPC metrics) is labelled shard="front".
+  EXPECT_NE(scrape.body.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(scrape.body.find("shard=\"1\""), std::string::npos);
+  EXPECT_NE(scrape.body.find(
+                "dabs_shard_rpc_frames_total{shard=\"front\"}"),
+            std::string::npos)
+      << scrape.body;
+  EXPECT_TRUE(names.count("dabs_shard_submits_total"));
+
+  // The submitted totals across both shards must add up to what we sent —
+  // modulo the fork baseline: each worker's registry was copied from this
+  // process at fork time, and the front-end's own (unchanging) sample IS
+  // that baseline, so shard_sum == 2 * front_baseline + jobs_sent.
+  std::uint64_t shard_sum = 0;
+  std::uint64_t front_baseline = 0;
+  std::istringstream in(scrape.body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("dabs_service_jobs_submitted_total{", 0) == 0) {
+      const std::uint64_t v =
+          std::strtoull(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+      if (line.find("shard=\"front\"") != std::string::npos) {
+        front_baseline += v;
+      } else {
+        shard_sum += v;
+      }
+    }
+  }
+  EXPECT_EQ(shard_sum, 2 * front_baseline + ids.size());
 }
 
 TEST(SolveServerTest, ShardOfModeRejectsForeignKeysAndIds) {

@@ -1,0 +1,297 @@
+// Tests for the obs layer beyond metrics: trace collection (Chrome
+// trace-event JSON), the job-lifecycle mapping, the structured logger
+// (levels, JSON mode, rate limiting), and build info — plus an integration
+// pass pulling real timestamps out of a SolverService run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json_reader.hpp"
+#include "obs/build_info.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "service/solver_service.hpp"
+#include "test_helpers.hpp"
+
+namespace dabs {
+namespace {
+
+/// Parses the collector's output and returns the traceEvents array.
+io::JsonValue parse_trace(const obs::TraceCollector& collector) {
+  std::ostringstream out;
+  collector.write_chrome_json(out);
+  return io::parse_json(out.str());
+}
+
+const io::JsonValue& events_of(const io::JsonValue& root) {
+  const io::JsonValue* events = root.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  return *events;
+}
+
+TEST(TraceCollector, EmptyCollectorIsValidJson) {
+  obs::TraceCollector collector;
+  EXPECT_TRUE(collector.empty());
+  const io::JsonValue root = parse_trace(collector);
+  EXPECT_EQ(events_of(root).as_array().size(), 0u);
+}
+
+TEST(TraceCollector, SpanBecomesCompleteEventInMicros) {
+  obs::TraceCollector collector;
+  obs::TraceSpan span;
+  span.name = "run:sa";
+  span.category = "job";
+  span.pid = 1;
+  span.tid = 42;
+  span.start_seconds = 1.5;
+  span.duration_seconds = 0.25;
+  span.args = {{"state", "done"}};
+  collector.add_span(span);
+
+  const io::JsonValue root = parse_trace(collector);
+  const auto& events = events_of(root).as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const io::JsonValue& e = events[0];
+  EXPECT_EQ(e.find("ph")->as_string(), "X");
+  EXPECT_EQ(e.find("name")->as_string(), "run:sa");
+  EXPECT_EQ(e.find("tid")->as_int(), 42);
+  EXPECT_EQ(e.find("ts")->as_int(), 1500000);   // µs
+  EXPECT_EQ(e.find("dur")->as_int(), 250000);   // µs
+  const io::JsonValue* args = e.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("state")->as_string(), "done");
+}
+
+TEST(TraceCollector, InstantBecomesThreadScopedMark) {
+  obs::TraceCollector collector;
+  obs::TraceInstant instant;
+  instant.name = "new_best";
+  instant.tid = 7;
+  instant.at_seconds = 0.001;
+  collector.add_instant(instant);
+
+  const io::JsonValue root = parse_trace(collector);
+  const auto& events = events_of(root).as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].find("ph")->as_string(), "i");
+  EXPECT_EQ(events[0].find("s")->as_string(), "t");
+  EXPECT_EQ(events[0].find("ts")->as_int(), 1000);
+}
+
+TEST(JobTraceMapping, FullLifecycleYieldsQueuedRunAndTicks) {
+  obs::JobTrace job;
+  job.job_id = 9;
+  job.solver = "tabu";
+  job.state = "done";
+  job.submitted_seconds = 1.0;
+  job.started_seconds = 1.5;
+  job.finished_seconds = 3.0;
+  job.ticks.push_back({"new_best", 0.2, -100.0, 500});
+  job.ticks.push_back({"tick", 0.9, -120.0, 2000});
+
+  obs::TraceCollector collector;
+  obs::append_job_trace(collector, job);
+  const io::JsonValue root = parse_trace(collector);
+  const auto& events = events_of(root).as_array();
+  // queued span + run span + 2 instants.
+  ASSERT_EQ(events.size(), 4u);
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  for (const io::JsonValue& e : events) {
+    EXPECT_EQ(e.find("tid")->as_int(), 9);  // one row per job
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "X") ++spans;
+    if (ph == "i") ++instants;
+    if (e.find("name")->as_string() == "queued") {
+      EXPECT_EQ(e.find("ts")->as_int(), 1000000);
+      EXPECT_EQ(e.find("dur")->as_int(), 500000);
+    }
+    if (e.find("name")->as_string() == "run:tabu") {
+      EXPECT_EQ(e.find("ts")->as_int(), 1500000);
+      EXPECT_EQ(e.find("dur")->as_int(), 1500000);
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(instants, 2u);
+}
+
+TEST(JobTraceMapping, NeverStartedJobGetsOnlyAQueuedSpan) {
+  obs::JobTrace job;
+  job.job_id = 2;
+  job.state = "cancelled";
+  job.submitted_seconds = 0.5;
+  job.finished_seconds = 0.8;  // cancelled while queued
+
+  obs::TraceCollector collector;
+  obs::append_job_trace(collector, job);
+  const io::JsonValue root = parse_trace(collector);
+  const auto& events = events_of(root).as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].find("name")->as_string(), "queued");
+}
+
+TEST(JobTraceMapping, LiveJobIsSkipped) {
+  obs::JobTrace job;
+  job.submitted_seconds = 1.0;  // no terminal time yet
+  obs::TraceCollector collector;
+  obs::append_job_trace(collector, job);
+  EXPECT_TRUE(collector.empty());
+}
+
+// Integration: real timestamps out of a service run map to ordered spans.
+TEST(JobTraceMapping, ServiceRunProducesOrderedTimestamps) {
+  service::SolverService svc;
+  service::JobSpec spec;
+  spec.model = std::make_shared<const QuboModel>(
+      testing::random_model(32, 0.3, 9, 11));
+  spec.solver = "sa";
+  spec.stop.max_batches = 500;
+  spec.seed = 3;
+  const service::JobId id = svc.submit(std::move(spec));
+  const service::JobSnapshot snap = svc.wait(id);
+  ASSERT_EQ(snap.state, service::JobState::kDone);
+  ASSERT_GE(snap.submitted_seconds, 0.0);
+  ASSERT_GE(snap.started_seconds, snap.submitted_seconds);
+  ASSERT_GE(snap.finished_seconds, snap.started_seconds);
+  // Durations surface in the report extras for /v1/jobs/{id}.
+  ASSERT_NE(snap.report.extras.find("total_seconds"),
+            snap.report.extras.end());
+  ASSERT_NE(snap.report.extras.find("queue_seconds"),
+            snap.report.extras.end());
+  ASSERT_NE(snap.report.extras.find("run_seconds"),
+            snap.report.extras.end());
+
+  const obs::JobTrace trace = service::job_trace(snap);
+  EXPECT_EQ(trace.job_id, id);
+  EXPECT_EQ(trace.state, "done");
+  obs::TraceCollector collector;
+  obs::append_job_trace(collector, trace);
+  EXPECT_GE(collector.size(), 2u);  // queued + run at minimum
+  // And the rendered JSON parses.
+  const io::JsonValue root = parse_trace(collector);
+  EXPECT_GE(events_of(root).as_array().size(), 2u);
+}
+
+/// RAII sink capture so a failing assertion cannot leave the global sink
+/// installed.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    obs::log_set_sink([this](const std::string& line) {
+      std::lock_guard lock(mu_);
+      lines_.push_back(line);
+    });
+  }
+  ~SinkCapture() { obs::log_set_sink(nullptr); }
+
+  std::vector<std::string> lines() {
+    std::lock_guard lock(mu_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(Log, LevelFilterSuppressesBelowThreshold) {
+  SinkCapture capture;
+  obs::log_configure("warn");
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kError));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  obs::log(obs::LogLevel::kInfo, "test", "below threshold");
+  obs::log(obs::LogLevel::kWarn, "test", "at threshold",
+           {{"answer", std::int64_t{42}}});
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("WARN"), std::string::npos);
+  EXPECT_NE(lines[0].find("test: at threshold"), std::string::npos);
+  EXPECT_NE(lines[0].find("answer=\"42\""), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '\n');
+}
+
+TEST(Log, JsonModeEmitsParsableObjects) {
+  SinkCapture capture;
+  obs::log_configure("info,json");
+  obs::log(obs::LogLevel::kWarn, "journal", "append failed",
+           {{"error", "disk \"full\""}});
+  obs::log_configure("warn");  // restore the default for later tests
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const io::JsonValue root = io::parse_json(lines[0]);
+  EXPECT_EQ(root.find("level")->as_string(), "WARN");
+  EXPECT_EQ(root.find("component")->as_string(), "journal");
+  EXPECT_EQ(root.find("msg")->as_string(), "append failed");
+  EXPECT_EQ(root.find("error")->as_string(), "disk \"full\"");
+}
+
+TEST(Log, OffSilencesEverything) {
+  SinkCapture capture;
+  obs::log_configure("off");
+  obs::log(obs::LogLevel::kError, "test", "nope");
+  obs::log_configure("warn");
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(Log, RateLimitGrantsOncePerIntervalAndCountsSuppressed) {
+  obs::LogRateLimit gate(3600.0);  // effectively once per test run
+  std::uint64_t suppressed = 99;
+  EXPECT_TRUE(gate.allow(&suppressed));
+  EXPECT_EQ(suppressed, 0u);
+  EXPECT_FALSE(gate.allow(&suppressed));
+  EXPECT_FALSE(gate.allow(&suppressed));
+
+  obs::LogRateLimit open_gate(0.0);  // zero interval: every call may log
+  EXPECT_TRUE(open_gate.allow());
+  EXPECT_TRUE(open_gate.allow(&suppressed));
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST(BuildInfo, FieldsAreNonEmpty) {
+  const obs::BuildInfo& info = obs::build_info();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.git.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  // build_type may be empty on un-typed builds; flags string always has
+  // at least the standard flag.
+  EXPECT_FALSE(info.flags.empty());
+}
+
+TEST(TraceCollector, WriteFileRoundTrips) {
+  obs::TraceCollector collector;
+  obs::TraceSpan span;
+  span.name = "queued";
+  span.tid = 1;
+  span.duration_seconds = 0.5;
+  collector.add_span(span);
+  const std::string path =
+      ::testing::TempDir() + "/dabs_trace_test_out.json";
+  ASSERT_TRUE(collector.write_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const io::JsonValue root = io::parse_json(buffer.str());
+  EXPECT_EQ(events_of(root).as_array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCollector, WriteFileFailureReturnsFalse) {
+  obs::TraceCollector collector;
+  obs::TraceSpan span;
+  span.name = "x";
+  collector.add_span(span);
+  SinkCapture capture;  // swallow the warning line
+  EXPECT_FALSE(collector.write_file("/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace dabs
