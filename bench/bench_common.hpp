@@ -12,14 +12,25 @@
 // best energy any solver ever attains within the bench becomes the
 // reference; DABS TTS/success statistics are then measured against it,
 // matching the paper's operational definition at bench scale.
+// JSON emission (the tracked paper harness): when DABS_BENCH_JSON names a
+// file, each bench writes its headline metrics and table rows there via
+// JsonSink; bench/run_paper.sh merges the per-suite files into
+// BENCH_paper.json so the reproduction-quality trajectory accumulates run
+// over run, exactly like the micro benches' BENCH_micro.json.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dabs_solver.hpp"
+#include "core/solver.hpp"
+#include "core/solver_registry.hpp"
+#include "io/json_writer.hpp"
 #include "io/results_writer.hpp"
 #include "qubo/qubo_model.hpp"
 #include "util/stats.hpp"
@@ -61,6 +72,34 @@ inline SolverConfig bench_config(std::uint64_t seed, double s_factor,
   return c;
 }
 
+/// The registry-option spelling of bench_config(): the paper benches
+/// construct their solvers through SolverRegistry so the harness exercises
+/// the exact surface the CLI and server expose.
+inline SolverOptions bulk_options(std::uint64_t seed, double s_factor,
+                                  double b_factor) {
+  return SolverOptions{{"devices", "2"},
+                       {"blocks", "2"},
+                       {"pool", "100"},
+                       {"s", std::to_string(s_factor)},
+                       {"b", std::to_string(b_factor)},
+                       {"seed", std::to_string(seed)}};
+}
+
+/// Registry construction, by the same path as `dabs-cli --solver`.
+inline std::unique_ptr<Solver> make_solver(const std::string& name,
+                                           const SolverOptions& opts) {
+  return SolverRegistry::global().create(name, opts);
+}
+
+/// One registry-driven solve through the unified request protocol.
+inline SolveReport solve_on(Solver& solver, const QuboModel& model,
+                            const StopCondition& stop) {
+  SolveRequest req;
+  req.model = &model;
+  req.stop = stop;
+  return solver.solve(req);
+}
+
 struct TrialCampaign {
   Energy best_energy = kInfiniteEnergy;  // best over all trials
   SummaryStats tts;                      // seconds, successful trials only
@@ -92,6 +131,85 @@ TrialCampaign run_campaign(const QuboModel& model, Energy target,
   }
   return camp;
 }
+
+/// Registry-side twin of run_campaign(): `make_solver(t)` returns a
+/// std::unique_ptr<Solver>; every trial runs through the SolveRequest
+/// protocol against `target` under `time_budget` seconds.
+template <typename MakeSolver>
+TrialCampaign run_registry_campaign(const QuboModel& model, Energy target,
+                                    double time_budget, std::size_t n_trials,
+                                    MakeSolver&& make_solver) {
+  TrialCampaign camp;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    StopCondition stop;
+    stop.target_energy = target;
+    stop.time_limit_seconds = time_budget;
+    const SolveReport r = solve_on(*make_solver(t), model, stop);
+    ++camp.runs;
+    if (r.best_energy < camp.best_energy) camp.best_energy = r.best_energy;
+    if (r.reached_target && r.best_energy <= target) {
+      ++camp.successes;
+      camp.tts.add(r.tts_seconds);
+      camp.tts_samples.push_back(r.tts_seconds);
+    }
+  }
+  return camp;
+}
+
+/// Collects a bench's headline metrics and table rows, then writes them as
+/// one JSON object to the DABS_BENCH_JSON path on flush/destruction (no-op
+/// when the variable is unset — interactive runs just print tables).
+class JsonSink {
+ public:
+  explicit JsonSink(std::string suite) : suite_(std::move(suite)) {}
+  ~JsonSink() { flush(); }
+
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  void metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  /// One table row as ordered (column, cell) pairs.
+  void row(std::vector<std::pair<std::string, std::string>> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const char* path = std::getenv("DABS_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "JsonSink: cannot open " << path << "\n";
+      return;
+    }
+    io::JsonWriter json(out);
+    json.begin_object();
+    json.value("suite", suite_);
+    json.value("scale", scale());
+    json.value("full_size", full_size());
+    json.begin_object("metrics");
+    for (const auto& [k, v] : metrics_) json.value(k, v);
+    json.end_object();
+    json.begin_array("rows");
+    for (const auto& cells : rows_) {
+      json.begin_object();
+      for (const auto& [k, v] : cells) json.value(k, v);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+ private:
+  std::string suite_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+  bool flushed_ = false;
+};
 
 inline void note(const std::string& msg) { std::cout << msg << "\n"; }
 

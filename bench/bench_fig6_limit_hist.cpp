@@ -1,10 +1,10 @@
 // Fig. 6 reproduction: histogram of best solutions found within fixed time
 // limits T, 2T, 4T.  The paper runs the D-Wave Hybrid solver at T = 50, 100,
-// 200 s; our comparator is the SimulatedAnnealing baseline (DESIGN.md §2) —
-// the shape to reproduce is "longer limits shift mass toward the optimum".
+// 200 s; our comparator is the "sa" registry solver (DESIGN.md §2) — the
+// shape to reproduce is "longer limits shift mass toward the optimum".
+#include <array>
 #include <map>
 
-#include "baseline/simulated_annealing.hpp"
 #include "bench_common.hpp"
 #include "problems/maxcut.hpp"
 
@@ -16,6 +16,7 @@ namespace pr = problems;
 void run() {
   bench::print_banner("Fig. 6 — solution histogram vs time limit (SA "
                       "comparator standing in for D-Wave Hybrid)");
+  bench::JsonSink sink("fig6_limit_hist");
   const auto inst = bench::full_size()
                         ? pr::make_k2000()
                         : pr::make_complete_maxcut(300, 2000, "K300");
@@ -33,23 +34,35 @@ void run() {
                  "T=" + io::fmt_seconds(4 * base_limit)});
 
   std::map<Energy, std::array<std::size_t, 3>> counts;
+  std::array<Energy, 3> best_per_limit{kInfiniteEnergy, kInfiniteEnergy,
+                                       kInfiniteEnergy};
   for (int li = 0; li < 3; ++li) {
     const double limit = base_limit * double(1 << li);
     for (std::size_t r = 0; r < runs_per_limit; ++r) {
-      SaParams p;
-      p.sweeps = 400;
-      p.restarts = 1000000;  // effectively time-limited
-      p.time_limit_seconds = limit;
-      p.seed = 5000 + li * 1000 + r;
-      const BaselineResult res = SimulatedAnnealing(p).solve(m);
+      const auto solver = bench::make_solver(
+          "sa", SolverOptions{{"sweeps", "400"},
+                              {"restarts", "1000000"},  // time-limited
+                              {"seed", std::to_string(5000 + li * 1000 + r)}});
+      StopCondition stop;
+      stop.time_limit_seconds = limit;
+      const SolveReport res = bench::solve_on(*solver, m, stop);
       ++counts[res.best_energy][li];
+      best_per_limit[li] = std::min(best_per_limit[li], res.best_energy);
     }
   }
   for (const auto& [energy, c] : counts) {
     table.add_row({io::fmt_energy(energy), std::to_string(c[0]),
                    std::to_string(c[1]), std::to_string(c[2])});
+    sink.row({{"energy", std::to_string(energy)},
+              {"count_t1", std::to_string(c[0])},
+              {"count_t2", std::to_string(c[1])},
+              {"count_t4", std::to_string(c[2])}});
   }
   table.print(std::cout);
+  for (int li = 0; li < 3; ++li) {
+    sink.metric("best_energy_t" + std::to_string(1 << li),
+                double(best_per_limit[li]));
+  }
   bench::note("expected shape: larger T concentrates counts at lower "
               "energies (paper Fig. 6).");
 }

@@ -13,6 +13,7 @@ namespace pr = problems;
 
 void run() {
   bench::print_banner("Fig. 7 — solve-time histograms, QASP1/16/256");
+  bench::JsonSink sink("fig7_qasp_hist");
   const double time_budget = 6.0 * bench::scale();
   const std::size_t n_trials = bench::trials(20);
 
@@ -24,30 +25,37 @@ void run() {
     params.value_seed = 42 + r;
     const pr::QaspInstance inst = pr::make_qasp(params);
 
-    SolverConfig ref_cfg = bench::bench_config(31, 0.1, 1.0);
-    ref_cfg.stop.time_limit_seconds = 2.0 * time_budget;
-    const Energy ref = DabsSolver(ref_cfg).solve(inst.qubo).best_energy;
+    StopCondition ref_stop;
+    ref_stop.time_limit_seconds = 2.0 * time_budget;
+    const Energy ref =
+        bench::solve_on(
+            *bench::make_solver("dabs", bench::bulk_options(31, 0.1, 1.0)),
+            inst.qubo, ref_stop)
+            .best_energy;
 
-    std::vector<double> tts;
-    std::size_t failures = 0;
-    for (std::size_t t = 0; t < n_trials; ++t) {
-      SolverConfig c = bench::bench_config(7000 + 100 * r + t, 0.1, 1.0);
-      c.stop.target_energy = ref;
-      c.stop.time_limit_seconds = time_budget;
-      const SolveResult res = DabsSolver(c).solve(inst.qubo);
-      if (res.reached_target)
-        tts.push_back(res.tts_seconds);
-      else
-        ++failures;
-    }
+    const auto camp = bench::run_registry_campaign(
+        inst.qubo, ref, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver(
+              "dabs", bench::bulk_options(7000 + 100 * r + t, 0.1, 1.0));
+        });
     std::cout << "QASP" << r << " ref=" << io::fmt_energy(ref) << " ("
-              << tts.size() << " hits, " << failures << " misses)\n";
-    if (tts.empty()) continue;
+              << camp.successes << " hits, " << (camp.runs - camp.successes)
+              << " misses)\n";
+    const std::string suffix = "_qasp" + std::to_string(r);
+    sink.metric("success_rate" + suffix, camp.success_rate());
+    if (camp.tts_samples.empty()) continue;
+    sink.metric("tts_mean" + suffix, camp.tts.mean());
+    const std::vector<double>& tts = camp.tts_samples;
     const double hi = *std::max_element(tts.begin(), tts.end());
     const double width = std::max(hi / 20.0, 1e-3);  // paper: 1 s bins / 20
     Histogram hist(0.0, hi + width, width);
     for (const double s : tts) hist.add(s);
     std::cout << hist.to_table(3);
+    for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+      sink.row({{"resolution", std::to_string(r)},
+                {"bin_lo", std::to_string(hist.bin_lo(i))},
+                {"count", std::to_string(hist.count(i))}});
+    }
   }
   bench::note("paper shape: all three resolutions concentrate at small "
               "times with a short tail (Fig. 7).");

@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "problems/maxcut.hpp"
 #include "qubo/qubo_builder.hpp"
 #include "qubo/search_state.hpp"

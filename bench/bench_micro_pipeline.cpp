@@ -4,9 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "device/packet_queue.hpp"
-#include "ga/adaptive_selector.hpp"
-#include "ga/genetic_ops.hpp"
-#include "ga/solution_pool.hpp"
+#include "evolve/adaptive_selector.hpp"
+#include "evolve/genetic_ops.hpp"
+#include "evolve/solution_pool.hpp"
 #include "rng/xorshift.hpp"
 
 namespace dabs {

@@ -2,7 +2,7 @@
 // search algorithm and throughput of a whole batch search.
 #include <benchmark/benchmark.h>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "problems/maxcut.hpp"
 #include "qubo/search_state.hpp"
 #include "search/batch_search.hpp"

@@ -2,11 +2,10 @@
 //
 // Paper row set: potentially optimal cut, DABS (TTS), ABS (TTS + success
 // probability), comparator solvers' gaps (Gurobi / D-Wave Hybrid / CIM ->
-// here SimulatedAnnealing / TabuSearch / GreedyRestart; see DESIGN.md §2).
-#include "baseline/abs_solver.hpp"
-#include "baseline/greedy_restart.hpp"
-#include "baseline/simulated_annealing.hpp"
-#include "baseline/tabu_search.hpp"
+// here the "sa" / "tabu" / "greedy-restart" registry solvers; DESIGN.md §2).
+#include <algorithm>
+
+#include "baseline/baseline_result.hpp"  // energy_gap
 #include "bench_common.hpp"
 #include "problems/maxcut.hpp"
 
@@ -14,7 +13,7 @@ namespace dabs {
 namespace {
 
 namespace pr = problems;
-using bench::bench_config;
+using bench::bulk_options;
 
 struct Row {
   std::string name;
@@ -39,6 +38,7 @@ std::vector<Row> instances() {
 
 void run() {
   bench::print_banner("Table II — MaxCut (K2000 / G22 / G39 family)");
+  bench::JsonSink sink("table2_maxcut");
   io::ResultsTable table("Table II");
   table.columns({"instance", "ref(best)", "DABS best", "DABS TTS",
                  "DABS succ", "ABS best", "ABS succ", "SA gap", "Tabu gap",
@@ -53,43 +53,38 @@ void run() {
 
     // Establish the reference ("potentially optimal") energy with one long
     // DABS run; paper parameters s=0.1, b=10 for MaxCut.
-    SolverConfig ref_cfg = bench_config(7, 0.1, 10.0);
-    ref_cfg.stop.time_limit_seconds = 2.0 * time_budget;
-    const SolveResult ref = DabsSolver(ref_cfg).solve(m);
+    StopCondition ref_stop;
+    ref_stop.time_limit_seconds = 2.0 * time_budget;
+    const SolveReport ref = bench::solve_on(
+        *bench::make_solver("dabs", bulk_options(7, 0.1, 10.0)), m, ref_stop);
     Energy best_known = ref.best_energy;
 
-    // Comparators.
-    SaParams sa_p;
-    sa_p.sweeps = 2000;
-    sa_p.restarts = 8;
-    sa_p.time_limit_seconds = time_budget;
-    const BaselineResult sa = SimulatedAnnealing(sa_p).solve(m);
-    TabuSearchParams tb_p;
-    tb_p.iterations = 100000;
-    tb_p.time_limit_seconds = time_budget;
-    const BaselineResult tb = TabuSearch(tb_p).solve(m);
-    GreedyRestartParams gr_p;
-    gr_p.restarts = 10000;
-    gr_p.time_limit_seconds = time_budget;
-    const BaselineResult gr = GreedyRestart(gr_p).solve(m);
+    // Comparators, through the same registry surface.
+    StopCondition cmp_stop;
+    cmp_stop.time_limit_seconds = time_budget;
+    const SolveReport sa = bench::solve_on(
+        *bench::make_solver("sa", SolverOptions{{"sweeps", "2000"},
+                                                {"restarts", "8"}}),
+        m, cmp_stop);
+    const SolveReport tb = bench::solve_on(
+        *bench::make_solver("tabu", SolverOptions{{"iterations", "100000"}}),
+        m, cmp_stop);
+    const SolveReport gr = bench::solve_on(
+        *bench::make_solver("greedy-restart",
+                            SolverOptions{{"restarts", "10000"}}),
+        m, cmp_stop);
     best_known = std::min({best_known, sa.best_energy, tb.best_energy,
                            gr.best_energy});
 
     // DABS campaign against the reference.
-    const auto dabs_camp = bench::run_campaign(
-        m, best_known, n_trials, [&](std::size_t t) {
-          SolverConfig c = bench_config(100 + t, 0.1, 10.0);
-          c.stop.target_energy = best_known;
-          c.stop.time_limit_seconds = time_budget;
-          return DabsSolver(c);
+    const auto dabs_camp = bench::run_registry_campaign(
+        m, best_known, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver("dabs", bulk_options(100 + t, 0.1, 10.0));
         });
     // ABS campaign (restricted feature set), same budget.
-    const auto abs_camp = bench::run_campaign(
-        m, best_known, n_trials, [&](std::size_t t) {
-          SolverConfig c = bench_config(200 + t, 0.1, 10.0);
-          c.stop.target_energy = best_known;
-          c.stop.time_limit_seconds = time_budget;
-          return AbsSolver(c);
+    const auto abs_camp = bench::run_registry_campaign(
+        m, best_known, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver("abs", bulk_options(200 + t, 0.1, 10.0));
         });
 
     table.add_row(
@@ -102,6 +97,18 @@ void run() {
          io::fmt_gap(energy_gap(sa.best_energy, best_known)),
          io::fmt_gap(energy_gap(tb.best_energy, best_known)),
          io::fmt_gap(energy_gap(gr.best_energy, best_known))});
+    sink.metric("success_rate_dabs_" + row.name, dabs_camp.success_rate());
+    sink.metric("success_rate_abs_" + row.name, abs_camp.success_rate());
+    if (dabs_camp.successes) {
+      sink.metric("tts_mean_dabs_" + row.name, dabs_camp.tts.mean());
+    }
+    sink.row({{"instance", row.name},
+              {"ref_energy", std::to_string(best_known)},
+              {"dabs_best", std::to_string(dabs_camp.best_energy)},
+              {"abs_best", std::to_string(abs_camp.best_energy)},
+              {"sa_best", std::to_string(sa.best_energy)},
+              {"tabu_best", std::to_string(tb.best_energy)},
+              {"greedy_best", std::to_string(gr.best_energy)}});
   }
   table.print(std::cout);
 }

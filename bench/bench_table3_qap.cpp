@@ -5,10 +5,9 @@
 // files can be placed next to the binary and loaded with io::read_qaplib;
 // by default the bench uses generator instances from the same families
 // (uniform/Taillard-like and grid/Nugent-like; DESIGN.md §2).
-#include "baseline/abs_solver.hpp"
-#include "baseline/simulated_annealing.hpp"
-#include "baseline/subqubo_solver.hpp"
-#include "baseline/tabu_search.hpp"
+#include <algorithm>
+
+#include "baseline/baseline_result.hpp"  // energy_gap
 #include "bench_common.hpp"
 #include "problems/qap.hpp"
 
@@ -16,7 +15,7 @@ namespace dabs {
 namespace {
 
 namespace pr = problems;
-using bench::bench_config;
+using bench::bulk_options;
 
 struct Row {
   pr::QapInstance inst;
@@ -37,6 +36,7 @@ std::vector<Row> instances() {
 
 void run() {
   bench::print_banner("Table III — QAP (tai / tho / nug families)");
+  bench::JsonSink sink("table3_qap");
   io::ResultsTable table("Table III");
   table.columns({"instance", "penalty", "QUBO ref", "DABS best", "DABS TTS",
                  "DABS succ", "ABS best", "ABS succ", "SA gap", "Tabu gap",
@@ -52,50 +52,47 @@ void run() {
                 " penalty=" + std::to_string(q.penalty));
 
     // Reference energy: long DABS run (paper QAP params s=0.1, b=1).
-    SolverConfig ref_cfg = bench_config(11, 0.1, 1.0);
-    ref_cfg.stop.time_limit_seconds = 2.0 * time_budget;
-    const SolveResult ref = DabsSolver(ref_cfg).solve(q.model);
+    StopCondition ref_stop;
+    ref_stop.time_limit_seconds = 2.0 * time_budget;
+    const SolveReport ref = bench::solve_on(
+        *bench::make_solver("dabs", bulk_options(11, 0.1, 1.0)), q.model,
+        ref_stop);
     Energy best_known = ref.best_energy;
 
-    SaParams sa_p;
-    sa_p.sweeps = 1500;
-    sa_p.restarts = 6;
-    sa_p.time_limit_seconds = time_budget;
-    const BaselineResult sa = SimulatedAnnealing(sa_p).solve(q.model);
-    TabuSearchParams tb_p;
-    tb_p.iterations = 200000;
-    tb_p.time_limit_seconds = time_budget;
-    const BaselineResult tb = TabuSearch(tb_p).solve(q.model);
+    StopCondition cmp_stop;
+    cmp_stop.time_limit_seconds = time_budget;
+    const SolveReport sa = bench::solve_on(
+        *bench::make_solver("sa", SolverOptions{{"sweeps", "1500"},
+                                                {"restarts", "6"}}),
+        q.model, cmp_stop);
+    const SolveReport tb = bench::solve_on(
+        *bench::make_solver("tabu", SolverOptions{{"iterations", "200000"}}),
+        q.model, cmp_stop);
     // SubQUBO hybrid (the [37] comparator the paper cites on tai20a/tho30).
-    SubQuboParams sq_p;
-    sq_p.subset_size = 16;
-    sq_p.iterations = 100000;
-    sq_p.restarts = 4;
-    sq_p.time_limit_seconds = time_budget;
-    const BaselineResult sq = SubQuboSolver(sq_p).solve(q.model);
+    const SolveReport sq = bench::solve_on(
+        *bench::make_solver("subqubo", SolverOptions{{"subset", "16"},
+                                                     {"iterations", "100000"},
+                                                     {"restarts", "4"}}),
+        q.model, cmp_stop);
     best_known = std::min({best_known, sa.best_energy, tb.best_energy,
                            sq.best_energy});
 
-    const auto dabs_camp = bench::run_campaign(
-        q.model, best_known, n_trials, [&](std::size_t t) {
-          SolverConfig c = bench_config(300 + t, 0.1, 1.0);
-          c.stop.target_energy = best_known;
-          c.stop.time_limit_seconds = time_budget;
-          return DabsSolver(c);
+    const auto dabs_camp = bench::run_registry_campaign(
+        q.model, best_known, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver("dabs", bulk_options(300 + t, 0.1, 1.0));
         });
-    const auto abs_camp = bench::run_campaign(
-        q.model, best_known, n_trials, [&](std::size_t t) {
-          SolverConfig c = bench_config(400 + t, 0.1, 1.0);
-          c.stop.target_energy = best_known;
-          c.stop.time_limit_seconds = time_budget;
-          return AbsSolver(c);
+    const auto abs_camp = bench::run_registry_campaign(
+        q.model, best_known, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver("abs", bulk_options(400 + t, 0.1, 1.0));
         });
 
     // Feasibility of the reference solution (one-hot decode).
-    SolverConfig check_cfg = bench_config(12, 0.1, 1.0);
-    check_cfg.stop.target_energy = best_known;
-    check_cfg.stop.time_limit_seconds = 2.0 * time_budget;
-    const SolveResult chk = DabsSolver(check_cfg).solve(q.model);
+    StopCondition chk_stop;
+    chk_stop.target_energy = best_known;
+    chk_stop.time_limit_seconds = 2.0 * time_budget;
+    const SolveReport chk = bench::solve_on(
+        *bench::make_solver("dabs", bulk_options(12, 0.1, 1.0)), q.model,
+        chk_stop);
     const bool feasible =
         chk.best_energy == best_known &&
         pr::decode_assignment(chk.best_solution, row.inst.n).has_value();
@@ -111,6 +108,18 @@ void run() {
          io::fmt_gap(energy_gap(tb.best_energy, best_known)),
          io::fmt_gap(energy_gap(sq.best_energy, best_known)),
          feasible ? "yes" : "NO"});
+    sink.metric("success_rate_dabs_" + row.inst.name,
+                dabs_camp.success_rate());
+    sink.metric("success_rate_abs_" + row.inst.name, abs_camp.success_rate());
+    if (dabs_camp.successes) {
+      sink.metric("tts_mean_dabs_" + row.inst.name, dabs_camp.tts.mean());
+    }
+    sink.row({{"instance", row.inst.name},
+              {"penalty", std::to_string(q.penalty)},
+              {"ref_energy", std::to_string(best_known)},
+              {"dabs_best", std::to_string(dabs_camp.best_energy)},
+              {"abs_best", std::to_string(abs_camp.best_energy)},
+              {"feasible", feasible ? "yes" : "no"}});
   }
   table.print(std::cout);
   bench::note("paper shape: DABS succeeds with TTS far below comparator "

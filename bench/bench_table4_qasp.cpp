@@ -1,9 +1,9 @@
 // Table IV reproduction: QASP at resolutions r = 1, 16, 256 on the Pegasus
 // working graph (paper: D-Wave Advantage 4.1, 5627 qubits).  Rows: DABS
 // (TTS), ABS (TTS + probability), comparator gaps.
-#include "baseline/abs_solver.hpp"
-#include "baseline/simulated_annealing.hpp"
-#include "baseline/tabu_search.hpp"
+#include <algorithm>
+
+#include "baseline/baseline_result.hpp"  // energy_gap
 #include "bench_common.hpp"
 #include "problems/qasp.hpp"
 
@@ -11,7 +11,7 @@ namespace dabs {
 namespace {
 
 namespace pr = problems;
-using bench::bench_config;
+using bench::bulk_options;
 
 pr::QaspParams qasp_params(int resolution) {
   pr::QaspParams p;
@@ -30,6 +30,7 @@ pr::QaspParams qasp_params(int resolution) {
 
 void run() {
   bench::print_banner("Table IV — QASP r = 1 / 16 / 256 (Pegasus)");
+  bench::JsonSink sink("table4_qasp");
   io::ResultsTable table("Table IV");
   table.columns({"QASP", "nodes", "edges", "ref", "DABS best", "DABS TTS",
                  "DABS succ", "ABS best", "ABS succ", "SA gap", "Tabu gap"});
@@ -41,39 +42,36 @@ void run() {
     const pr::QaspInstance inst = pr::make_qasp(qasp_params(r));
     bench::note("QASP" + std::to_string(r) + ": " + inst.qubo.describe());
 
-    SolverConfig ref_cfg = bench_config(21, 0.1, 1.0);
-    ref_cfg.stop.time_limit_seconds = 2.0 * time_budget;
-    const SolveResult ref = DabsSolver(ref_cfg).solve(inst.qubo);
+    StopCondition ref_stop;
+    ref_stop.time_limit_seconds = 2.0 * time_budget;
+    const SolveReport ref = bench::solve_on(
+        *bench::make_solver("dabs", bulk_options(21, 0.1, 1.0)), inst.qubo,
+        ref_stop);
     Energy best_known = ref.best_energy;
 
-    SaParams sa_p;
-    sa_p.sweeps = 2000;
-    sa_p.restarts = 6;
-    sa_p.time_limit_seconds = time_budget;
-    const BaselineResult sa = SimulatedAnnealing(sa_p).solve(inst.qubo);
-    TabuSearchParams tb_p;
-    tb_p.iterations = 300000;
-    tb_p.time_limit_seconds = time_budget;
-    const BaselineResult tb = TabuSearch(tb_p).solve(inst.qubo);
+    StopCondition cmp_stop;
+    cmp_stop.time_limit_seconds = time_budget;
+    const SolveReport sa = bench::solve_on(
+        *bench::make_solver("sa", SolverOptions{{"sweeps", "2000"},
+                                                {"restarts", "6"}}),
+        inst.qubo, cmp_stop);
+    const SolveReport tb = bench::solve_on(
+        *bench::make_solver("tabu", SolverOptions{{"iterations", "300000"}}),
+        inst.qubo, cmp_stop);
     best_known = std::min({best_known, sa.best_energy, tb.best_energy});
 
-    const auto dabs_camp = bench::run_campaign(
-        inst.qubo, best_known, n_trials, [&](std::size_t t) {
-          SolverConfig c = bench_config(500 + t, 0.1, 1.0);
-          c.stop.target_energy = best_known;
-          c.stop.time_limit_seconds = time_budget;
-          return DabsSolver(c);
+    const auto dabs_camp = bench::run_registry_campaign(
+        inst.qubo, best_known, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver("dabs", bulk_options(500 + t, 0.1, 1.0));
         });
-    const auto abs_camp = bench::run_campaign(
-        inst.qubo, best_known, n_trials, [&](std::size_t t) {
-          SolverConfig c = bench_config(600 + t, 0.1, 1.0);
-          c.stop.target_energy = best_known;
-          c.stop.time_limit_seconds = time_budget;
-          return AbsSolver(c);
+    const auto abs_camp = bench::run_registry_campaign(
+        inst.qubo, best_known, time_budget, n_trials, [&](std::size_t t) {
+          return bench::make_solver("abs", bulk_options(600 + t, 0.1, 1.0));
         });
 
+    const std::string name = "QASP" + std::to_string(r);
     table.add_row(
-        {"QASP" + std::to_string(r), std::to_string(inst.nodes),
+        {name, std::to_string(inst.nodes),
          std::to_string(inst.edge_count), io::fmt_energy(best_known),
          io::fmt_energy(dabs_camp.best_energy),
          dabs_camp.successes ? io::fmt_seconds(dabs_camp.tts.mean()) : "-",
@@ -82,6 +80,17 @@ void run() {
          io::fmt_percent(abs_camp.success_rate()),
          io::fmt_gap(energy_gap(sa.best_energy, best_known)),
          io::fmt_gap(energy_gap(tb.best_energy, best_known))});
+    sink.metric("success_rate_dabs_" + name, dabs_camp.success_rate());
+    sink.metric("success_rate_abs_" + name, abs_camp.success_rate());
+    if (dabs_camp.successes) {
+      sink.metric("tts_mean_dabs_" + name, dabs_camp.tts.mean());
+    }
+    sink.row({{"instance", name},
+              {"nodes", std::to_string(inst.nodes)},
+              {"edges", std::to_string(inst.edge_count)},
+              {"ref_energy", std::to_string(best_known)},
+              {"dabs_best", std::to_string(dabs_camp.best_energy)},
+              {"abs_best", std::to_string(abs_camp.best_energy)}});
   }
   table.print(std::cout);
 }

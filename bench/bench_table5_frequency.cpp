@@ -1,6 +1,8 @@
 // Table V reproduction: frequency of main search algorithms and genetic
 // operations *executed* by the adaptive DABS host, per problem.  One row
-// per benchmark instance; columns as in the paper.
+// per benchmark instance; columns as in the paper.  Frequencies come from
+// the diversity engine's `freq_algo_*` / `freq_op_*` report extras — the
+// same data any registry client (CLI, server) sees.
 #include "bench_common.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/qap.hpp"
@@ -51,8 +53,14 @@ std::vector<Case> cases() {
   return out;
 }
 
+double extra_fraction(const SolveReport& r, const std::string& key) {
+  const auto it = r.extras.find(key);
+  return it == r.extras.end() ? 0.0 : std::atof(it->second.c_str());
+}
+
 void run() {
   bench::print_banner("Table V — frequency of executed algorithms/operations");
+  bench::JsonSink sink("table5_frequency");
 
   io::ResultsTable algos("Table V (a): main search algorithm frequency");
   std::vector<std::string> algo_cols = {"problem"};
@@ -70,19 +78,33 @@ void run() {
 
   const double time_budget = 5.0 * bench::scale();
   for (const Case& c : cases()) {
-    SolverConfig cfg = bench::bench_config(77, c.s, c.b);
-    cfg.stop.time_limit_seconds = time_budget;
-    const SolveResult r = DabsSolver(cfg).solve(c.model);
+    StopCondition stop;
+    stop.time_limit_seconds = time_budget;
+    const SolveReport r = bench::solve_on(
+        *bench::make_solver("dabs", bench::bulk_options(77, c.s, c.b)),
+        c.model, stop);
 
     std::vector<std::string> arow = {c.name};
     for (const MainSearch s : kAllMainSearches) {
-      arow.push_back(io::fmt_percent(r.stats.algo_fraction(s)));
+      const double f =
+          extra_fraction(r, "freq_algo_" + std::string(to_string(s)));
+      arow.push_back(io::fmt_percent(f));
+      sink.row({{"problem", c.name},
+                {"kind", "algo"},
+                {"name", std::string(to_string(s))},
+                {"fraction", std::to_string(f)}});
     }
     algos.add_row(arow);
 
     std::vector<std::string> orow = {c.name};
     for (const GeneticOp op : kDabsGeneticOps) {
-      orow.push_back(io::fmt_percent(r.stats.op_fraction(op)));
+      const double f =
+          extra_fraction(r, "freq_op_" + std::string(to_string(op)));
+      orow.push_back(io::fmt_percent(f));
+      sink.row({{"problem", c.name},
+                {"kind", "op"},
+                {"name", std::string(to_string(op))},
+                {"fraction", std::to_string(f)}});
     }
     ops.add_row(orow);
   }

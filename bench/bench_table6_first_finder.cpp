@@ -1,7 +1,8 @@
 // Table VI reproduction: frequency of the main search algorithm / genetic
 // operation that *first found* the best solution, across repeated DABS
-// executions per problem.
-#include <array>
+// executions per problem.  The first-finder pair comes from the report's
+// `first_finder_algo` / `first_finder_op` extras.
+#include <map>
 
 #include "bench_common.hpp"
 #include "problems/maxcut.hpp"
@@ -47,6 +48,7 @@ std::vector<Case> cases() {
 void run() {
   bench::print_banner(
       "Table VI — first-finder frequency over repeated executions");
+  bench::JsonSink sink("table6_first_finder");
 
   io::ResultsTable algos("Table VI (a): first-finder algorithm frequency");
   std::vector<std::string> algo_cols = {"problem"};
@@ -66,33 +68,44 @@ void run() {
   const double time_budget = 2.0 * bench::scale();
 
   for (const Case& c : cases()) {
-    std::array<std::size_t, kMainSearchCount> algo_hits{};
-    std::array<std::size_t, kGeneticOpCount> op_hits{};
+    std::map<std::string, std::size_t> algo_hits;
+    std::map<std::string, std::size_t> op_hits;
     std::size_t recorded = 0;
     for (std::size_t run = 0; run < n_runs; ++run) {
-      SolverConfig cfg = bench::bench_config(9000 + run, c.s, c.b);
-      cfg.stop.time_limit_seconds = time_budget;
-      const SolveResult r = DabsSolver(cfg).solve(c.model);
-      MainSearch fa{};
-      GeneticOp fo{};
-      if (r.stats.first_finder(fa, fo)) {
-        ++algo_hits[std::size_t(fa)];
-        ++op_hits[std::size_t(fo)];
+      StopCondition stop;
+      stop.time_limit_seconds = time_budget;
+      const SolveReport r = bench::solve_on(
+          *bench::make_solver("dabs",
+                              bench::bulk_options(9000 + run, c.s, c.b)),
+          c.model, stop);
+      const auto fa = r.extras.find("first_finder_algo");
+      const auto fo = r.extras.find("first_finder_op");
+      if (fa != r.extras.end() && fo != r.extras.end()) {
+        ++algo_hits[fa->second];
+        ++op_hits[fo->second];
         ++recorded;
       }
     }
     std::vector<std::string> arow = {c.name};
     for (const MainSearch s : kAllMainSearches) {
-      arow.push_back(io::fmt_percent(
-          recorded ? double(algo_hits[std::size_t(s)]) / double(recorded)
-                   : 0.0));
+      const std::size_t hits = algo_hits[std::string(to_string(s))];
+      const double f = recorded ? double(hits) / double(recorded) : 0.0;
+      arow.push_back(io::fmt_percent(f));
+      sink.row({{"problem", c.name},
+                {"kind", "algo"},
+                {"name", std::string(to_string(s))},
+                {"fraction", std::to_string(f)}});
     }
     algos.add_row(arow);
     std::vector<std::string> orow = {c.name};
     for (const GeneticOp op : kDabsGeneticOps) {
-      orow.push_back(io::fmt_percent(
-          recorded ? double(op_hits[std::size_t(op)]) / double(recorded)
-                   : 0.0));
+      const std::size_t hits = op_hits[std::string(to_string(op))];
+      const double f = recorded ? double(hits) / double(recorded) : 0.0;
+      orow.push_back(io::fmt_percent(f));
+      sink.row({{"problem", c.name},
+                {"kind", "op"},
+                {"name", std::string(to_string(op))},
+                {"fraction", std::to_string(f)}});
     }
     ops.add_row(orow);
   }

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Runs the paper figure/table reproduction suites and merges their JSON
+# reports into one BENCH_paper.json so the reproduction-quality trajectory
+# accumulates run over run (the paper-harness twin of run_benches.sh).
+#
+# Usage: bench/run_paper.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    build tree containing bench/ executables (default: build)
+#   OUTPUT_JSON  merged report path (default: BENCH_paper.json in the repo root)
+#
+# Scale knobs pass through to the benches: DABS_BENCH_SCALE (trial/time
+# multiplier) and DABS_BENCH_FULL=1 (paper-size instances).
+#
+# Drift guard: when OUTPUT_JSON already holds a prior report, each suite's
+# success_rate* metrics (higher is better, absolute delta) and tts_mean*
+# metrics (lower is better, relative delta) are compared against it.  A
+# drift beyond DABS_PAPER_TOLERANCE (default 0.25 — stochastic campaigns on
+# shared runners are noisy) warns; DABS_BENCH_GATE=1 makes it a hard fail.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+output="${2:-${repo_root}/BENCH_paper.json}"
+suites=(bench_fig5_tts_hist bench_fig6_limit_hist bench_fig7_qasp_hist
+        bench_table2_maxcut bench_table3_qap bench_table4_qasp
+        bench_table5_frequency bench_table6_first_finder)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+ran=()
+for suite in "${suites[@]}"; do
+  exe="${build_dir}/bench/${suite}"
+  if [[ ! -x "${exe}" ]]; then
+    echo "skip: ${exe} not built (configure with -DDABS_BUILD_BENCH=ON)" >&2
+    continue
+  fi
+  echo "== ${suite}" >&2
+  DABS_BENCH_JSON="${tmpdir}/${suite}.json" "${exe}" >&2
+  ran+=("${suite}")
+done
+
+if [[ ${#ran[@]} -eq 0 ]]; then
+  echo "error: no paper bench executable found under ${build_dir}/bench" >&2
+  exit 1
+fi
+
+# Drift guard before overwriting the prior report.
+if [[ -f "${output}" ]] && command -v python3 >/dev/null 2>&1; then
+  guard_status=0
+  python3 - "${output}" "${tmpdir}" \
+    "${DABS_PAPER_TOLERANCE:-0.25}" "${ran[@]}" <<'PY' || guard_status=$?
+import json, os, sys
+
+prior_path, tmpdir, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+suites = sys.argv[4:]
+
+try:
+    with open(prior_path) as f:
+        prior = json.load(f)
+except (OSError, json.JSONDecodeError) as e:
+    print(f"paper guard: skip ({e})", file=sys.stderr)
+    sys.exit(0)
+
+drifted = False
+for exe_name in suites:
+    path = os.path.join(tmpdir, f"{exe_name}.json")
+    try:
+        with open(path) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        continue
+    suite = fresh.get("suite", exe_name)
+    old = prior.get(suite, {})
+    # Only compare runs made at the same scale/size: the metrics are not
+    # comparable across DABS_BENCH_SCALE / DABS_BENCH_FULL settings.
+    if (old.get("scale") != fresh.get("scale")
+            or old.get("full_size") != fresh.get("full_size")):
+        print(f"paper guard: {suite}: scale changed, skipping comparison",
+              file=sys.stderr)
+        continue
+    old_m, new_m = old.get("metrics", {}), fresh.get("metrics", {})
+    for name, before in sorted(old_m.items()):
+        after = new_m.get(name)
+        if after is None:
+            continue
+        if "success_rate" in name:
+            delta = after - before  # fraction in [0, 1]: absolute delta
+            print(f"paper guard: {suite}.{name} {before:.2f} -> {after:.2f} "
+                  f"({delta:+.2f})", file=sys.stderr)
+            if delta < -tolerance:
+                drifted = True
+        elif "tts_mean" in name and before > 0:
+            delta = (after - before) / before  # lower is better
+            print(f"paper guard: {suite}.{name} {before:.3g}s -> "
+                  f"{after:.3g}s ({delta:+.1%})", file=sys.stderr)
+            if delta > tolerance:
+                drifted = True
+sys.exit(2 if drifted else 0)
+PY
+  if [[ "${guard_status}" -ne 0 ]]; then
+    echo "WARNING: paper metrics drifted beyond" \
+         "${DABS_PAPER_TOLERANCE:-0.25} tolerance" >&2
+    if [[ "${DABS_BENCH_GATE:-0}" = "1" ]]; then
+      echo "FAIL: paper-harness drift (DABS_BENCH_GATE=1)" >&2
+      exit 1
+    fi
+  fi
+elif [[ -f "${output}" ]]; then
+  echo "paper guard: skip (python3 not found)" >&2
+fi
+
+# Merge: one object keyed by each bench's reported suite name.
+python3 - "${output}" "${tmpdir}" "${ran[@]}" <<'PY'
+import json, os, sys
+output, tmpdir, suites = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {}
+if os.path.exists(output):  # keep suites not re-run this invocation
+    try:
+        with open(output) as f:
+            merged = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"discarding unreadable prior report: {e}", file=sys.stderr)
+for s in suites:
+    try:
+        with open(f"{tmpdir}/{s}.json") as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"skip {s}: {e}", file=sys.stderr)
+        continue
+    merged[fresh.get("suite", s)] = fresh
+with open(output, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+PY
+echo "wrote ${output} (${#ran[@]} suites)" >&2

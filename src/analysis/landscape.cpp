@@ -3,7 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/search_state.hpp"
 #include "search/greedy.hpp"
 #include "util/assert.hpp"

@@ -1,6 +1,6 @@
 #include "baseline/greedy_restart.hpp"
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/search_state.hpp"
 #include "search/greedy.hpp"
 #include "util/assert.hpp"

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/search_state.hpp"
 #include "search/greedy.hpp"
 #include "search/straight.hpp"

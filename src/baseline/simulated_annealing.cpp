@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/search_state.hpp"
 #include "rng/seeder.hpp"
 #include "util/assert.hpp"

@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "baseline/exhaustive.hpp"
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/search_state.hpp"
 #include "qubo/transforms.hpp"
 #include "rng/seeder.hpp"

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/search_state.hpp"
 #include "search/tabu_list.hpp"
 #include "util/assert.hpp"

@@ -1,238 +1,198 @@
 #include "core/dabs_solver.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "device/device_group.hpp"
-#include "ga/adaptive_selector.hpp"
-#include "ga/genetic_ops.hpp"
-#include "ga/island_ring.hpp"
+#include "evolve/diversity_engine.hpp"
 #include "rng/seeder.hpp"
 #include "util/assert.hpp"
-#include "util/timer.hpp"
 
 namespace dabs {
 
 namespace {
 
-/// State shared by the host pool threads for one solve() call.
-struct RunContext {
-  const SolverConfig& cfg;
-  const QuboModel& model;
-  IslandRing& ring;
-  AdaptiveSelector selector;
-  Stopwatch clock;
-  RunStats stats;
+/// Seconds a host thread blocks on its outbox when the device inbox is
+/// full — long enough to sleep instead of spin, short enough that stop
+/// requests are honored within one device batch.
+constexpr double kOutboxWaitSeconds = 0.005;
 
-  /// Run-scoped cancellation / progress hooks (null on the legacy path).
-  const StopToken* token = nullptr;
-  ProgressObserver* observer = nullptr;
-  double tick_seconds = 0.0;
+EngineConfig engine_config(const SolverConfig& cfg) {
+  EngineConfig e;
+  e.islands = cfg.devices;
+  e.pool_capacity = cfg.pool_capacity;
+  e.algorithms = cfg.algorithms;
+  e.operations = cfg.operations;
+  e.explore_prob = cfg.explore_prob;
+  e.op_params = cfg.op_params;
+  e.restart_on_merge = cfg.restart_on_merge;
+  e.migration_interval = cfg.migration_interval;
+  e.migration_count = cfg.migration_count;
+  return e;
+}
+
+/// State shared by the host pool threads for one solve() call.  The
+/// StopContext's driving-thread surface (should_stop / add_work /
+/// note_best) is serialized under `mu` so every host thread can act as the
+/// driver; worker-safe polls go through expired() / the `stop` latch.
+struct HostContext {
+  DiversityEngine& engine;
+  StopContext& ctx;
+  std::mutex mu;  // guards ctx and the best (solution, energy) pair
 
   std::atomic<bool> stop{false};
-  std::atomic<bool> cancelled{false};
-  std::atomic<std::uint64_t> generated{0};
-  std::atomic<std::uint32_t> restarts{0};
 
-  std::mutex best_mu;
   BitVector best;
   Energy best_energy = kInfiniteEnergy;
-  bool reached_target = false;
-  double tts_seconds = 0.0;
+  std::uint64_t merge_check_interval = 64;
 
-  std::mutex tick_mu;
-  double last_tick = 0.0;
+  HostContext(DiversityEngine& e, StopContext& c, std::size_t bits,
+              std::uint64_t merge_interval)
+      : engine(e), ctx(c), best(bits), merge_check_interval(merge_interval) {}
 
-  RunContext(const SolverConfig& c, const QuboModel& m, IslandRing& r)
-      : cfg(c), model(m), ring(r),
-        selector(c.algorithms, c.operations, c.explore_prob),
-        best(m.size()) {}
-
-  /// Inserts a device result into its pool and updates the global best.
-  void handle_result(const Packet& p) {
-    ring.pool(p.pool_index)
-        .insert({p.solution, p.energy, p.algo, p.op});
-    bool improved = false;
-    ProgressEvent event;
-    {
-      std::lock_guard lock(best_mu);
-      if (p.energy < best_energy) {
-        best_energy = p.energy;
-        best = p.solution;
-        stats.record_improvement(clock.elapsed_seconds(), p.energy, p.algo,
-                                 p.op);
-        improved = true;
-        event = {clock.elapsed_seconds(), p.energy,
-                 generated.load(std::memory_order_relaxed)};
-        if (cfg.stop.target_energy && p.energy <= *cfg.stop.target_energy &&
-            !reached_target) {
-          reached_target = true;
-          tts_seconds = clock.elapsed_seconds();
-          stop.store(true, std::memory_order_release);
-        }
-      }
-    }
-    // Outside best_mu: a slow observer must not stall the other host
-    // threads (or deadlock by re-entering the solver surface).
-    if (improved && observer) observer->on_new_best(event);
-  }
-
-  /// Builds the next host->device packet for pool `i`.
-  Packet make_packet(std::uint32_t i, Rng& rng) {
-    const SolutionPool& pool = ring.pool(i);
-    const SolutionPool* nbr =
-        ring.pool_count() > 1 ? &ring.neighbor(i) : nullptr;
-    Packet p;
-    p.algo = selector.select_algorithm(pool, rng);
-    p.op = selector.select_operation(pool, rng);
-    p.solution =
-        apply_genetic_op(p.op, model.size(), pool, nbr, rng, cfg.op_params);
-    p.pool_index = i;
-    stats.record_batch(p.algo, p.op);
-    generated.fetch_add(1, std::memory_order_relaxed);
-    return p;
-  }
-
-  /// Wall-clock / batch-budget / stop-token checks (target checks live in
-  /// handle_result).  Returns true when the run should end.
-  bool budget_exhausted() {
-    if (token && token->stop_requested()) {
-      cancelled.store(true, std::memory_order_relaxed);
-      return true;
-    }
-    maybe_tick();
-    if (cfg.stop.time_limit_seconds > 0.0 &&
-        clock.elapsed_seconds() >= cfg.stop.time_limit_seconds) {
-      return true;
-    }
-    if (cfg.stop.max_batches != 0 &&
-        generated.load(std::memory_order_relaxed) >= cfg.stop.max_batches) {
+  /// Worker-safe stop poll for inner loops (migration entries, inbox
+  /// back-pressure waits): the latch plus the thread-safe StopContext
+  /// subset, no callbacks.
+  bool stopping() {
+    if (stop.load(std::memory_order_acquire)) return true;
+    if (ctx.expired()) {
+      stop.store(true, std::memory_order_release);
       return true;
     }
     return false;
   }
 
-  /// Fires ProgressObserver::on_tick at most once per tick_seconds across
-  /// all host threads.  last_tick is claimed under tick_mu, then the
-  /// callback runs lock-free (same rationale as handle_result).
-  void maybe_tick() {
-    if (!observer || tick_seconds <= 0.0) return;
-    double now;
-    {
-      std::lock_guard tick_lock(tick_mu);
-      now = clock.elapsed_seconds();
-      if (now - last_tick < tick_seconds) return;
-      last_tick = now;
-    }
-    Energy e;
-    {
-      std::lock_guard best_lock(best_mu);
-      e = best_energy;
-    }
-    observer->on_tick({now, e, generated.load(std::memory_order_relaxed)});
+  /// Full driving-thread check: budget, wall clock, token, target, ticks.
+  bool check_stop() {
+    if (stop.load(std::memory_order_acquire)) return true;
+    std::lock_guard lock(mu);
+    if (ctx.should_stop()) stop.store(true, std::memory_order_release);
+    return stop.load(std::memory_order_relaxed);
   }
 
-  /// Restarts all pools when the ring has merged (paper §IV-B).
-  void maybe_restart(Rng& rng) {
-    if (!cfg.restart_on_merge) return;
-    if (!ring.merged()) return;
-    for (std::size_t i = 0; i < ring.pool_count(); ++i) {
-      ring.pool(i).restart(rng);
+  /// Hands a device result to the engine and updates the global best.
+  /// note_best() latches the target / TTS and fires on_new_best — the
+  /// observer contract (fast, thread-safe) keeps the lock hold short.
+  void on_result(const Packet& p) {
+    engine.accept_result(p);
+    std::lock_guard lock(mu);
+    if (p.energy < best_energy) {
+      best_energy = p.energy;
+      best = p.solution;
+      engine.note_improvement(ctx.elapsed_seconds(), p.energy, p.algo, p.op);
+      ctx.note_best(p.energy);
+      if (ctx.reached_target()) stop.store(true, std::memory_order_release);
     }
-    restarts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Builds the next host->device packet for island `i` and charges one
+  /// work unit against the batch budget.
+  Packet make_packet(std::uint32_t i, Rng& rng) {
+    Packet p = engine.next_packet(i, rng);
+    std::lock_guard lock(mu);
+    ctx.add_work(1);
+    return p;
   }
 };
 
-void host_pool_thread(RunContext& ctx, DeviceGroup& group, std::uint32_t i,
+void host_pool_thread(HostContext& hc, DeviceGroup& group, std::uint32_t i,
                       std::uint64_t seed) {
   Rng rng(seed);
   VirtualDevice& dev = group.device(i);
+  const auto cancelled = [&hc] { return hc.stopping(); };
   std::uint64_t since_merge_check = 0;
-  while (!ctx.stop.load(std::memory_order_acquire)) {
-    // (a) Retire finished batches.
-    while (auto p = dev.outbox().try_pop()) ctx.handle_result(*p);
-    if (ctx.budget_exhausted()) {
-      ctx.stop.store(true, std::memory_order_release);
-      break;
+  Packet res;
+  while (!hc.stop.load(std::memory_order_acquire)) {
+    // (a) Retire finished batches.  kClosed means the device already shut
+    // down (another thread is tearing the run down) — nothing more to do.
+    for (;;) {
+      const auto st = dev.outbox().try_pop(res);
+      if (st == PacketQueue::PopStatus::kClosed) return;
+      if (st != PacketQueue::PopStatus::kItem) break;
+      hc.on_result(res);
     }
+    if (hc.check_stop()) break;
     // (b) Feed the device.
-    Packet pkt = ctx.make_packet(i, rng);
-    while (!ctx.stop.load(std::memory_order_acquire)) {
+    Packet pkt = hc.make_packet(i, rng);
+    while (!hc.stop.load(std::memory_order_acquire)) {
       if (dev.inbox().try_push(pkt)) break;
-      // Inbox full: retire results while waiting so the pipeline drains.
-      if (auto p = dev.outbox().try_pop()) {
-        ctx.handle_result(*p);
-      } else {
-        std::this_thread::yield();
+      // Inbox full: block on the outbox (bounded wait, no spinning) so the
+      // pipeline drains while we hold the un-submitted packet.
+      switch (dev.outbox().pop_wait(res, kOutboxWaitSeconds)) {
+        case PacketQueue::PopStatus::kItem:
+          hc.on_result(res);
+          break;
+        case PacketQueue::PopStatus::kClosed:
+          return;
+        case PacketQueue::PopStatus::kEmpty:
+          break;
       }
-      if (ctx.budget_exhausted()) {
-        ctx.stop.store(true, std::memory_order_release);
-        break;
-      }
+      if (hc.check_stop()) break;
     }
-    // (c) Pool-0 housekeeping: merged-ring restart.
-    if (i == 0 && ++since_merge_check >= ctx.cfg.merge_check_interval) {
+    // (c) Housekeeping: ring migration for this island, merged-ring
+    // restart checked by island 0 only.
+    hc.engine.maybe_migrate(i, cancelled);
+    if (i == 0 && ++since_merge_check >= hc.merge_check_interval) {
       since_merge_check = 0;
-      ctx.maybe_restart(rng);
+      hc.engine.check_restart();
     }
   }
 }
 
-void run_threaded(RunContext& ctx, DeviceGroup& group,
+void run_threaded(HostContext& hc, DeviceGroup& group,
                   MersenneSeeder& seeder) {
   group.start_all();
   std::vector<std::thread> hosts;
   hosts.reserve(group.device_count());
   const auto seeds = seeder.seeds(group.device_count());
   for (std::uint32_t i = 0; i < group.device_count(); ++i) {
-    hosts.emplace_back(host_pool_thread, std::ref(ctx), std::ref(group), i,
+    hosts.emplace_back(host_pool_thread, std::ref(hc), std::ref(group), i,
                        seeds[i]);
   }
   for (auto& t : hosts) t.join();
   group.stop_all();
 }
 
-void run_synchronous(RunContext& ctx, DeviceGroup& group,
+void run_synchronous(HostContext& hc, DeviceGroup& group,
                      MersenneSeeder& seeder) {
   const std::size_t devices = group.device_count();
   std::vector<Rng> rngs;
   rngs.reserve(devices);
   for (std::size_t i = 0; i < devices; ++i) rngs.push_back(seeder.next_rng());
   std::vector<std::size_t> rr(devices, 0);
+  const auto cancelled = [&hc] { return hc.stopping(); };
 
   std::uint64_t round = 0;
-  while (!ctx.stop.load(std::memory_order_relaxed)) {
-    if (ctx.budget_exhausted()) break;
+  while (!hc.check_stop()) {
     const auto i = static_cast<std::uint32_t>(round % devices);
-    Packet pkt = ctx.make_packet(i, rngs[i]);
+    Packet pkt = hc.make_packet(i, rngs[i]);
     VirtualDevice& dev = group.device(i);
     const Packet out = dev.execute(pkt, rr[i]);
     rr[i] = (rr[i] + 1) % dev.block_count();
-    ctx.handle_result(out);
+    hc.on_result(out);
+    hc.engine.maybe_migrate(i, cancelled);
     ++round;
-    if (round % (ctx.cfg.merge_check_interval * devices) == 0) {
-      ctx.maybe_restart(rngs[0]);
+    if (round % (hc.merge_check_interval * devices) == 0) {
+      hc.engine.check_restart();
     }
   }
 }
 
-/// One full framework run.  `token`/`observer` are null on the legacy
-/// SolveResult path; the added checks are branch-only, so synchronous runs
-/// stay bit-identical with or without them.
+/// One full framework run driven through the unified stop/progress
+/// protocol; both execution modes share the HostContext surface, so
+/// synchronous runs stay bit-identical with or without token/observer.
 SolveResult run_dabs(const SolverConfig& cfg, const QuboModel& model,
-                     const StopToken* token, ProgressObserver* observer,
-                     double tick_seconds) {
+                     StopContext& ctx) {
   DABS_CHECK(model.size() > 0, "cannot solve an empty model");
   DABS_CHECK(!cfg.stop.unbounded(),
              "refusing an unbounded run: set a target energy, time limit, "
              "work budget, or cancel via a bounded request");
   MersenneSeeder seeder(cfg.seed);
-  IslandRing ring(cfg.devices, cfg.pool_capacity, model.size(), seeder);
+  DiversityEngine engine(engine_config(cfg), model.size(), seeder);
   DeviceGroup group(model, cfg.devices, cfg.device, seeder);
-  RunContext ctx(cfg, model, ring);
-  ctx.token = token;
-  ctx.observer = observer;
-  ctx.tick_seconds = tick_seconds;
+  HostContext hc(engine, ctx, model.size(), cfg.merge_check_interval);
 
   // Seed the pools (and the global best) with any warm-start solutions.
   for (std::size_t i = 0; i < cfg.warm_start.size(); ++i) {
@@ -245,39 +205,41 @@ SolveResult run_dabs(const SolverConfig& cfg, const QuboModel& model,
     p.algo = cfg.algorithms[i % cfg.algorithms.size()];
     p.op = cfg.operations[i % cfg.operations.size()];
     p.pool_index = static_cast<std::uint32_t>(i % cfg.devices);
-    ctx.handle_result(p);
+    hc.on_result(p);
   }
 
   // A run cancelled before the first device result must still report a
   // real (solution, energy) pair, so fold one evaluated initial pool
   // entry into the global best exactly like a warm start.
-  if (ctx.best_energy == kInfiniteEnergy) {
-    const PoolEntry first = ring.pool(0).entry(0);
+  if (hc.best_energy == kInfiniteEnergy) {
+    const PoolEntry first = engine.ring().pool(0).entry(0);
     Packet p;
     p.solution = first.solution;
     p.energy = model.energy(p.solution);
     p.algo = first.algo;
     p.op = first.op;
     p.pool_index = 0;
-    ctx.handle_result(p);
+    hc.on_result(p);
   }
 
   if (cfg.mode == ExecutionMode::kThreaded) {
-    run_threaded(ctx, group, seeder);
+    run_threaded(hc, group, seeder);
   } else {
-    run_synchronous(ctx, group, seeder);
+    run_synchronous(hc, group, seeder);
   }
 
   SolveResult r;
-  r.best_solution = ctx.best;
-  r.best_energy = ctx.best_energy;
-  r.reached_target = ctx.reached_target;
-  r.tts_seconds = ctx.tts_seconds;
-  r.elapsed_seconds = ctx.clock.elapsed_seconds();
-  r.batches = ctx.generated.load();
-  r.restarts = ctx.restarts.load();
-  r.cancelled = ctx.cancelled.load();
-  r.stats = ctx.stats.snapshot();
+  r.best_solution = hc.best;
+  r.best_energy = hc.best_energy;
+  r.reached_target = ctx.reached_target();
+  r.tts_seconds = ctx.tts_seconds();
+  r.elapsed_seconds = ctx.elapsed_seconds();
+  r.batches = ctx.work();
+  r.restarts = static_cast<std::uint32_t>(engine.restarts());
+  r.migrations = engine.migrations();
+  r.cancelled = ctx.cancelled();
+  r.stats = engine.stats();
+  engine.fill_extras(r.extras);
   return r;
 }
 
@@ -288,7 +250,8 @@ DabsSolver::DabsSolver(SolverConfig config) : config_(std::move(config)) {
 }
 
 SolveResult DabsSolver::solve(const QuboModel& model) {
-  return run_dabs(config_, model, nullptr, nullptr, 0.0);
+  StopContext ctx(config_.stop);
+  return run_dabs(config_, model, ctx);
 }
 
 SolveReport DabsSolver::solve(const SolveRequest& request) {
@@ -297,8 +260,9 @@ SolveReport DabsSolver::solve(const SolveRequest& request) {
   if (!request.stop.unbounded()) cfg.stop = request.stop;
   if (request.seed) cfg.seed = *request.seed;
   if (!request.warm_start.empty()) cfg.warm_start = request.warm_start;
-  const SolveResult r = run_dabs(cfg, model, &request.stop_token,
-                                 request.observer, request.tick_seconds);
+  StopContext ctx(cfg.stop, request.stop_token, request.observer,
+                  request.tick_seconds);
+  const SolveResult r = run_dabs(cfg, model, ctx);
   return make_report(name(), r);
 }
 

@@ -6,23 +6,26 @@
 //   pool 1  <- host thread 1 ->  virtual device 1
 //   ...                                   ...
 //
-// Each host thread repeatedly (a) drains its device's outbox, inserting
-// result packets into its pool and updating the global best, and (b)
-// generates new target packets: the adaptive selector chooses a main search
-// algorithm and a genetic operation (95 % from pool records / 5 % uniform),
-// the operation builds a target vector (Xrossover consulting the ring
-// neighbor pool), and the packet is pushed to the device inbox.
+// The GA side (pools, adaptive selection, island ring, migration) lives in
+// the DiversityEngine (src/evolve); the solver is the driver that wires the
+// engine to the virtual-device substrate and the unified stop/progress
+// protocol.  Each host thread repeatedly (a) drains its device's outbox,
+// handing result packets to the engine and updating the global best, and
+// (b) asks the engine for the next target packet and pushes it to the
+// device inbox.
 //
-// Termination: target energy reached, wall-clock limit, or batch budget.
-// When every pool's best has merged to the same solution the ring restarts
-// from random pools (paper §IV-B).
+// Termination runs through one shared StopContext (target energy, wall
+// clock, batch budget, cooperative cancellation); host threads serialize
+// their driving-thread calls on it under a mutex.  When every pool's best
+// has merged to the same solution the engine restarts the ring from random
+// pools (paper §IV-B).
 //
 // ExecutionMode::kSynchronous runs the identical logic single-threaded and
 // bit-reproducibly (used by tests and deterministic ablations).
 #pragma once
 
-#include <atomic>
-#include <mutex>
+#include <map>
+#include <string>
 
 #include "core/run_stats.hpp"
 #include "core/solve_report.hpp"
@@ -43,9 +46,15 @@ struct SolveResult {
   double elapsed_seconds = 0.0;
   std::uint64_t batches = 0;
   std::uint32_t restarts = 0;
+  /// Pool entries migrated between ring neighbors (0 unless the config
+  /// enables migration).
+  std::uint64_t migrations = 0;
   /// True when the run ended because a SolveRequest stop token fired.
   bool cancelled = false;
   RunStatsSnapshot stats;
+  /// Diversity-engine summary (pool entropy / Hamming spread, per-operator
+  /// win counts, ...), merged verbatim into SolveReport::extras.
+  std::map<std::string, std::string> extras;
 };
 
 class DabsSolver : public Solver {

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 
 namespace dabs {
 

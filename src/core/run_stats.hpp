@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "ga/op_ids.hpp"
+#include "evolve/op_ids.hpp"
 #include "io/json_writer.hpp"
 #include "qubo/types.hpp"
 #include "search/registry.hpp"

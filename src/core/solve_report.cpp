@@ -52,6 +52,9 @@ SolveReport make_report(std::string_view solver, const SolveResult& result) {
   rep.batches = result.batches;
   rep.restarts = result.restarts;
   rep.cancelled = result.cancelled;
+  // Solver-provided extras first (diversity, win rates); the generic
+  // attribution keys below only fill gaps and never overwrite them.
+  rep.extras = result.extras;
   MainSearch algo;
   GeneticOp op;
   if (result.stats.first_finder(algo, op)) {

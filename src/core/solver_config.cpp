@@ -20,6 +20,8 @@ void SolverConfig::validate() const {
              "search flip factor must be positive");
   DABS_CHECK(device.batch.batch_flip_factor > 0.0,
              "batch flip factor must be positive");
+  DABS_CHECK(migration_interval == 0 || migration_count > 0,
+             "migration enabled but migration_count is zero");
   // Note: an unbounded `stop` is legal at configuration time — the
   // effective stop condition may arrive later via a SolveRequest.  Solvers
   // re-check boundedness when a run actually starts.

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "device/virtual_device.hpp"
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "qubo/types.hpp"
 #include "search/registry.hpp"
 #include "util/bit_vector.hpp"
@@ -62,6 +62,13 @@ struct SolverConfig {
   bool restart_on_merge = true;
   /// How often (in generated batches per pool) merge is checked.
   std::uint64_t merge_check_interval = 64;
+
+  /// Ring migration cadence in generated batches per pool; 0 (the paper's
+  /// configuration) disables migration — pools then mix only through the
+  /// Xrossover operation.
+  std::uint64_t migration_interval = 0;
+  /// Best pool entries copied to the ring neighbor per migration event.
+  std::size_t migration_count = 1;
 
   StopCondition stop;
 

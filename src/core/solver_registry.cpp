@@ -149,6 +149,9 @@ namespace {
 SolverConfig bulk_config(const SolverOptions& o) {
   SolverConfig cfg;
   cfg.devices = o.get_u64("devices", cfg.devices);
+  // "islands" is the diversity-engine-facing alias: one island (pool +
+  // host generation stream) per device, so the two knobs are one number.
+  cfg.devices = o.get_u64("islands", cfg.devices);
   cfg.device.blocks = static_cast<std::uint32_t>(
       o.get_u64("blocks", cfg.device.blocks));
   cfg.device.replicas = static_cast<std::uint32_t>(
@@ -160,6 +163,8 @@ SolverConfig bulk_config(const SolverOptions& o) {
   cfg.pool_capacity = o.get_u64("pool", cfg.pool_capacity);
   cfg.seed = o.get_u64("seed", cfg.seed);
   cfg.explore_prob = o.get_double("explore", cfg.explore_prob);
+  cfg.migration_interval = o.get_u64("migrate", cfg.migration_interval);
+  cfg.migration_count = o.get_u64("migrants", cfg.migration_count);
   // Synchronous (bit-reproducible) by default; opt into the threaded
   // host/device pipeline explicitly.  Bulk blocks (replicas > 1) gather
   // packets concurrently, so they imply threaded mode.
@@ -172,14 +177,15 @@ SolverConfig bulk_config(const SolverOptions& o) {
 void register_builtin_solvers(SolverRegistry& reg) {
   reg.add("dabs",
           "Diverse Adaptive Bulk Search (the paper's solver) "
-          "[devices, blocks, replicas, pool, s, b, explore, seed, threads]",
+          "[devices/islands, blocks, replicas, pool, s, b, explore, "
+          "migrate, migrants, seed, threads]",
           [](const SolverOptions& o) -> std::unique_ptr<Solver> {
             return std::make_unique<DabsSolver>(bulk_config(o));
           });
   reg.add("abs",
           "Adaptive Bulk Search predecessor: CyclicMin + mutate-crossover, "
-          "no diversity [devices, blocks, replicas, pool, s, b, explore, "
-          "seed, threads]",
+          "no diversity [devices/islands, blocks, replicas, pool, s, b, "
+          "explore, migrate, migrants, seed, threads]",
           [](const SolverOptions& o) -> std::unique_ptr<Solver> {
             return std::make_unique<AbsSolver>(bulk_config(o));
           });

@@ -13,12 +13,24 @@ DeviceGroup::DeviceGroup(const QuboModel& model, std::size_t devices,
   }
 }
 
+DeviceGroup::~DeviceGroup() {
+  // Devices must retire their pool tasks before the pool itself is torn
+  // down (member destruction alone would destroy pool_ first).
+  stop_all();
+}
+
 void DeviceGroup::start_all() {
-  for (auto& d : devices_) d->start();
+  if (!pool_) {
+    std::size_t workers = 0;
+    for (const auto& d : devices_) workers += d->block_count();
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  for (auto& d : devices_) d->start(*pool_);
 }
 
 void DeviceGroup::stop_all() {
   for (auto& d : devices_) d->stop();
+  pool_.reset();
 }
 
 std::uint64_t DeviceGroup::total_batches() const {

@@ -1,5 +1,9 @@
 // Device group: the "eight NVIDIA A100s" of the paper as a collection of
-// virtual devices, each paired 1:1 with a host solution pool.
+// virtual devices, each paired 1:1 with a host solution pool.  The group
+// owns the ThreadPool its devices' block consumers run on: start_all()
+// lazily builds one worker per block across all devices (the process-wide
+// "SM array"), stop_all() retires the consumers and tears the pool down.
+// Synchronous-mode runs never call start_all() and never pay for a pool.
 #pragma once
 
 #include <cstddef>
@@ -7,6 +11,7 @@
 #include <vector>
 
 #include "device/virtual_device.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dabs {
 
@@ -14,18 +19,26 @@ class DeviceGroup {
  public:
   DeviceGroup(const QuboModel& model, std::size_t devices,
               const DeviceConfig& config, MersenneSeeder& seeder);
+  ~DeviceGroup();
 
   std::size_t device_count() const noexcept { return devices_.size(); }
   VirtualDevice& device(std::size_t i) { return *devices_[i]; }
   const VirtualDevice& device(std::size_t i) const { return *devices_[i]; }
 
+  /// Creates the block-consumer ThreadPool (one worker per block across
+  /// all devices) on first call and starts every device on it.
   void start_all();
+  /// Stops every device and destroys the pool.  Idempotent.
   void stop_all();
+
+  /// The consumer pool; null until start_all() (synchronous runs).
+  ThreadPool* pool() noexcept { return pool_.get(); }
 
   std::uint64_t total_batches() const;
 
  private:
   std::vector<std::unique_ptr<VirtualDevice>> devices_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dabs

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "ga/op_ids.hpp"
+#include "evolve/op_ids.hpp"
 
 namespace dabs {
 

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "ga/op_ids.hpp"
+#include "evolve/op_ids.hpp"
 #include "qubo/types.hpp"
 #include "search/registry.hpp"
 #include "util/bit_vector.hpp"

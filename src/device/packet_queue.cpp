@@ -1,5 +1,7 @@
 #include "device/packet_queue.hpp"
 
+#include <chrono>
+
 #include "util/assert.hpp"
 
 namespace dabs {
@@ -43,6 +45,19 @@ std::optional<Packet> PacketQueue::try_pop() {
 
 PacketQueue::PopStatus PacketQueue::try_pop(Packet& out) {
   std::lock_guard lock(mu_);
+  if (items_.empty()) {
+    return closed_ ? PopStatus::kClosed : PopStatus::kEmpty;
+  }
+  out = std::move(items_.front());
+  items_.pop_front();
+  cv_push_.notify_one();
+  return PopStatus::kItem;
+}
+
+PacketQueue::PopStatus PacketQueue::pop_wait(Packet& out, double seconds) {
+  std::unique_lock lock(mu_);
+  cv_pop_.wait_for(lock, std::chrono::duration<double>(seconds),
+                   [this] { return closed_ || !items_.empty(); });
   if (items_.empty()) {
     return closed_ ? PopStatus::kClosed : PopStatus::kEmpty;
   }

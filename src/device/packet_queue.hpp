@@ -43,6 +43,13 @@ class PacketQueue {
   /// terminate exactly when no further packet can ever arrive.
   PopStatus try_pop(Packet& out);
 
+  /// Blocking pop with a timeout: waits up to `seconds` for a packet.
+  /// kEmpty means the wait timed out on an open queue (retry after doing
+  /// other work); kClosed means closed *and* drained.  Replaces
+  /// sleep/yield polling loops in consumers that must also watch other
+  /// state (stop flags, inbox capacity) while waiting.
+  PopStatus pop_wait(Packet& out, double seconds);
+
   /// True once closed *and* empty: no packet can ever be popped again.
   bool drained() const;
 

@@ -33,28 +33,37 @@ VirtualDevice::VirtualDevice(const QuboModel& model,
 
 VirtualDevice::~VirtualDevice() { stop(); }
 
-void VirtualDevice::start() {
+void VirtualDevice::start(ThreadPool& pool) {
   if (started_) return;
   started_ = true;
   const std::size_t count = block_count();
-  threads_.reserve(count);
-  for (std::size_t b = 0; b < count; ++b) {
-    threads_.emplace_back([this, b] { block_loop(b); });
+  {
+    std::lock_guard lock(pending_mu_);
+    pending_blocks_ = count;
   }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    tasks.push_back([this, b] {
+      block_loop(b);
+      std::lock_guard lock(pending_mu_);
+      --pending_blocks_;
+      pending_cv_.notify_all();
+    });
+  }
+  pool.submit_batch(std::move(tasks));
 }
 
 void VirtualDevice::stop() {
-  if (!started_) {
-    outbox_.close();
-    inbox_.close();
-    return;
-  }
-  // Close both queues before joining: a block mid-push into a full outbox
-  // must be released (its push fails harmlessly) or join would deadlock.
+  // Close both queues before waiting: a block mid-push into a full outbox
+  // must be released (its push fails harmlessly) or the wait would
+  // deadlock.  A task still queued in the pool sees the closed inbox and
+  // retires immediately.
   inbox_.close();
   outbox_.close();
-  for (auto& t : threads_) t.join();
-  threads_.clear();
+  if (!started_) return;
+  std::unique_lock lock(pending_mu_);
+  pending_cv_.wait(lock, [this] { return pending_blocks_ == 0; });
   started_ = false;
 }
 

@@ -8,7 +8,9 @@
 //     (solution state, tabu list, RNG stream) exactly like a resident CUDA
 //     block owns its registers,
 //   - a bounded inbox of host->device packets and an outbox of results,
-//   - in threaded mode each block is a std::thread consuming the inbox;
+//   - in threaded mode each block is a long-running consumer task on a
+//     shared ThreadPool (the DeviceGroup sizes the pool so every block
+//     gets a dedicated worker — the pool is the "SM array");
 //   - in synchronous mode `process_next()` executes one packet inline on a
 //     round-robin block, giving bit-reproducible runs for tests.
 //
@@ -21,9 +23,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <thread>
+#include <mutex>
 #include <vector>
 
 #include "device/packet.hpp"
@@ -32,6 +35,7 @@
 #include "rng/seeder.hpp"
 #include "search/batch_search.hpp"
 #include "search/bulk_batch_search.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dabs {
 
@@ -53,11 +57,15 @@ class VirtualDevice {
   VirtualDevice(const VirtualDevice&) = delete;
   VirtualDevice& operator=(const VirtualDevice&) = delete;
 
-  /// Spawns one consumer thread per block.  Idempotent.
-  void start();
+  /// Submits one long-running consumer task per block to `pool`.  The
+  /// caller must size the pool with at least block_count() free workers —
+  /// a consumer occupies its worker until stop().  Idempotent.
+  void start(ThreadPool& pool);
 
-  /// Closes both queues and joins all block threads.  In-flight results
-  /// are dropped: stop() is called only once the solver has terminated.
+  /// Closes both queues and waits for every block task to retire.
+  /// In-flight results are dropped: stop() is called only once the solver
+  /// has terminated.  Safe even for tasks still queued in the pool — they
+  /// observe the closed inbox and exit immediately.
   void stop();
 
   PacketQueue& inbox() noexcept { return inbox_; }
@@ -91,10 +99,15 @@ class VirtualDevice {
   // Exactly one of the two block vectors is populated (replicas == 1 vs > 1).
   std::vector<std::unique_ptr<BatchSearch>> blocks_;
   std::vector<std::unique_ptr<BulkBatchSearch>> bulk_blocks_;
-  std::vector<std::thread> threads_;
   std::size_t rr_next_ = 0;  // synchronous-mode round-robin cursor
   std::atomic<std::uint64_t> batches_{0};
   bool started_ = false;
+
+  // Pool-task accounting: stop() blocks until every submitted consumer
+  // task has retired (ran to queue closure or observed it before running).
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_blocks_ = 0;
 };
 
 }  // namespace dabs

@@ -1,8 +1,8 @@
-#include "ga/adaptive_selector.hpp"
+#include "evolve/adaptive_selector.hpp"
 
 #include <algorithm>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "util/assert.hpp"
 
 namespace dabs {

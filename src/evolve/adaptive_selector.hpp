@@ -16,8 +16,8 @@
 
 #include <vector>
 
-#include "ga/op_ids.hpp"
-#include "ga/solution_pool.hpp"
+#include "evolve/op_ids.hpp"
+#include "evolve/solution_pool.hpp"
 #include "rng/xorshift.hpp"
 #include "search/registry.hpp"
 

@@ -1,0 +1,60 @@
+#include "evolve/diversity.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dabs {
+
+std::string PoolDiversity::to_string() const {
+  std::ostringstream os;
+  os << "entries=" << entries << " min_hamming=" << min_hamming
+     << " mean_hamming=" << mean_hamming << " entropy=" << entropy;
+  return os.str();
+}
+
+PoolDiversity measure_diversity(const std::vector<BitVector>& solutions,
+                                std::size_t bits) {
+  PoolDiversity d;
+  d.entries = solutions.size();
+  if (solutions.empty() || bits == 0) return d;
+  for (const BitVector& s : solutions) {
+    DABS_CHECK(s.size() == bits, "diversity: solution length mismatch");
+  }
+
+  if (solutions.size() >= 2) {
+    std::size_t min_h = std::numeric_limits<std::size_t>::max();
+    double sum_h = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < solutions.size(); ++i) {
+      for (std::size_t j = i + 1; j < solutions.size(); ++j) {
+        const std::size_t h = solutions[i].hamming_distance(solutions[j]);
+        if (h < min_h) min_h = h;
+        sum_h += double(h);
+        ++pairs;
+      }
+    }
+    d.min_hamming = min_h;
+    d.mean_hamming = sum_h / double(pairs);
+  }
+
+  // Per-bit entropy: column-wise one-counts via word-parallel accumulation.
+  std::vector<std::size_t> ones(bits, 0);
+  for (const BitVector& s : solutions) {
+    for (std::size_t i = 0; i < bits; ++i) ones[i] += s.get(i) ? 1 : 0;
+  }
+  const double m = double(solutions.size());
+  double entropy_sum = 0.0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const double p = double(ones[i]) / m;
+    if (p > 0.0 && p < 1.0) {
+      entropy_sum += -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+    }
+  }
+  d.entropy = entropy_sum / double(bits);
+  return d;
+}
+
+}  // namespace dabs

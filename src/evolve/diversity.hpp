@@ -1,0 +1,41 @@
+// Diversity measurement over sets of solution vectors — the quantities the
+// paper credits for DABS's TTS wins, surfaced as data instead of folklore:
+//
+//   min / mean pairwise Hamming distance  — how spread out a pool is; a
+//       collapsing min distance is the early warning for a merged ring;
+//   per-bit Shannon entropy               — fraction of decision freedom
+//       left in the pool (1.0 = every bit still undecided, 0.0 = all
+//       entries identical).
+//
+// Measurement is O(m^2 * n/64) words for m solutions of n bits — cheap for
+// the paper's 100-entry pools and only ever run at observer-tick / end-of-
+// run boundaries, never inside the flip kernels.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bit_vector.hpp"
+
+namespace dabs {
+
+struct PoolDiversity {
+  /// Solutions measured (pools exclude their +infinity random seeds).
+  std::size_t entries = 0;
+  /// Minimum pairwise Hamming distance; 0 when fewer than two entries.
+  std::size_t min_hamming = 0;
+  /// Mean pairwise Hamming distance; 0 when fewer than two entries.
+  double mean_hamming = 0.0;
+  /// Mean per-bit Shannon entropy in [0, 1]; 0 when empty.
+  double entropy = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Measures min/mean pairwise Hamming distance and mean per-bit entropy of
+/// `solutions` (all of length `bits`).  Handles 0 and 1 entries gracefully.
+PoolDiversity measure_diversity(const std::vector<BitVector>& solutions,
+                                std::size_t bits);
+
+}  // namespace dabs

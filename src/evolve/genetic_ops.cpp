@@ -1,4 +1,4 @@
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 
 #include <algorithm>
 

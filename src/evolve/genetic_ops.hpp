@@ -7,8 +7,8 @@
 // floor(r^3 * m), which prefers better-ranked entries.
 #pragma once
 
-#include "ga/op_ids.hpp"
-#include "ga/solution_pool.hpp"
+#include "evolve/op_ids.hpp"
+#include "evolve/solution_pool.hpp"
 #include "rng/xorshift.hpp"
 #include "util/bit_vector.hpp"
 

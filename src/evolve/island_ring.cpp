@@ -1,4 +1,4 @@
-#include "ga/island_ring.hpp"
+#include "evolve/island_ring.hpp"
 
 #include <algorithm>
 
@@ -16,6 +16,19 @@ IslandRing::IslandRing(std::size_t pools, std::size_t capacity, std::size_t n,
     p->initialize_random(rng);
     pools_.push_back(std::move(p));
   }
+}
+
+std::size_t IslandRing::migrate(std::size_t from, std::size_t count) {
+  DABS_CHECK(from < pools_.size(), "migration source out of range");
+  if (pools_.size() < 2 || count == 0) return 0;
+  SolutionPool& dst = neighbor(from);
+  std::size_t accepted = 0;
+  // One locked snapshot of the source: safe against concurrent restarts, and
+  // only evaluated (finite-energy) entries travel.
+  for (PoolEntry& e : pools_[from]->best_entries(count)) {
+    if (dst.insert(std::move(e))) ++accepted;
+  }
+  return accepted;
 }
 
 Energy IslandRing::global_best_energy() const {

@@ -1,14 +1,17 @@
 // Island model (paper §IV-B): one solution pool per device arranged on a
-// ring.  DABS performs no migration; inter-pool mixing happens only through
-// the Xrossover operation, which crosses a solution from pool i with one
-// from its ring neighbor pool (i+1) mod P.
+// ring.  The paper's DABS performs no explicit migration; inter-pool mixing
+// happens only through the Xrossover operation, which crosses a solution
+// from pool i with one from its ring neighbor pool (i+1) mod P.  On top of
+// that baseline behaviour the ring optionally supports classic island-model
+// migration (migrate()): copying the best evaluated entries of a pool into
+// its ring neighbor, driven by the DiversityEngine's migration interval.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
-#include "ga/solution_pool.hpp"
+#include "evolve/solution_pool.hpp"
 #include "rng/seeder.hpp"
 
 namespace dabs {
@@ -32,6 +35,13 @@ class IslandRing {
   const SolutionPool& neighbor(std::size_t i) const {
     return *pools_[neighbor_index(i)];
   }
+
+  /// Copies the best `count` *evaluated* entries of pool `from` into its
+  /// ring neighbor (from+1) mod P.  Duplicates and entries worse than the
+  /// neighbor's worst are rejected by the pool's ordinary insert rules.
+  /// Returns the number of entries the neighbor accepted.  No-op (returns
+  /// 0) on a single-pool ring.
+  std::size_t migrate(std::size_t from, std::size_t count);
 
   /// Lowest energy across all pools.
   Energy global_best_energy() const;

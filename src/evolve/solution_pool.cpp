@@ -1,8 +1,8 @@
-#include "ga/solution_pool.hpp"
+#include "evolve/solution_pool.hpp"
 
 #include <algorithm>
 
-#include "ga/genetic_ops.hpp"
+#include "evolve/genetic_ops.hpp"
 #include "rng/seeder.hpp"
 #include "util/assert.hpp"
 
@@ -87,6 +87,32 @@ PoolEntry SolutionPool::select_uniform(Rng& rng) const {
   std::lock_guard lock(mu_);
   DABS_CHECK(!entries_.empty(), "selection from an empty pool");
   return entries_[rng.next_index(entries_.size())];
+}
+
+std::vector<BitVector> SolutionPool::evaluated_solutions() const {
+  std::lock_guard lock(mu_);
+  std::vector<BitVector> out;
+  out.reserve(entries_.size());
+  for (const PoolEntry& e : entries_) {
+    if (e.energy != kInfiniteEnergy) out.push_back(e.solution);
+  }
+  return out;
+}
+
+std::vector<PoolEntry> SolutionPool::best_entries(std::size_t count) const {
+  std::lock_guard lock(mu_);
+  std::vector<PoolEntry> out;
+  out.reserve(std::min(count, entries_.size()));
+  for (const PoolEntry& e : entries_) {
+    if (out.size() >= count) break;
+    if (e.energy == kInfiniteEnergy) break;  // sorted: only +inf seeds follow
+    out.push_back(e);
+  }
+  return out;
+}
+
+PoolDiversity SolutionPool::diversity() const {
+  return measure_diversity(evaluated_solutions(), n_);
 }
 
 void SolutionPool::restart(Rng& rng) {

@@ -13,7 +13,8 @@
 #include <mutex>
 #include <vector>
 
-#include "ga/op_ids.hpp"
+#include "evolve/diversity.hpp"
+#include "evolve/op_ids.hpp"
 #include "qubo/types.hpp"
 #include "rng/xorshift.hpp"
 #include "search/registry.hpp"
@@ -59,6 +60,18 @@ class SolutionPool {
 
   /// Empties and re-randomizes (the paper's restart after pool merge).
   void restart(Rng& rng);
+
+  /// Copies of the solution vectors of every *evaluated* entry (the random
+  /// +infinity seeds are excluded — they carry no search information).
+  std::vector<BitVector> evaluated_solutions() const;
+
+  /// Up to `count` best *evaluated* entries, taken under one lock (an
+  /// atomic snapshot — safe against concurrent restarts).
+  std::vector<PoolEntry> best_entries(std::size_t count) const;
+
+  /// Min/mean pairwise Hamming distance and per-bit entropy over the
+  /// evaluated entries.  Snapshot semantics: the pool may mutate after.
+  PoolDiversity diversity() const;
 
  private:
   bool is_duplicate_locked(const PoolEntry& e) const;

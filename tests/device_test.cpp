@@ -141,7 +141,8 @@ TEST(VirtualDevice, ThreadedModeProcessesAllPackets) {
   const QuboModel m = random_model(30, 0.4, 9, 3002);
   MersenneSeeder seeder(3);
   VirtualDevice dev(m, quick_device_config(), seeder);
-  dev.start();
+  ThreadPool pool(dev.block_count());
+  dev.start(pool);
   const int kPackets = 12;
   int results = 0;
   std::thread producer([&dev] {
@@ -173,7 +174,8 @@ TEST(VirtualDevice, BulkBlocksAnswerEveryPacket) {
   VirtualDevice dev(m, cfg, seeder);
   EXPECT_EQ(dev.replicas_per_block(), 8u);
   EXPECT_GE(dev.inbox().capacity(), 8u);
-  dev.start();
+  ThreadPool pool(dev.block_count());
+  dev.start(pool);
   const int kPackets = 40;
   std::thread producer([&dev] {
     for (int i = 0; i < kPackets; ++i) {
@@ -214,7 +216,8 @@ TEST(VirtualDevice, StopUnblocksIdleWorkers) {
   const QuboModel m = random_model(10, 0.5, 9, 3004);
   MersenneSeeder seeder(5);
   auto dev = std::make_unique<VirtualDevice>(m, quick_device_config(), seeder);
-  dev->start();
+  ThreadPool pool(dev->block_count());
+  dev->start(pool);
   dev->stop();  // workers blocked in pop() must exit
   SUCCEED();
 }

@@ -4,10 +4,10 @@
 
 #include <map>
 
-#include "ga/adaptive_selector.hpp"
-#include "ga/genetic_ops.hpp"
-#include "ga/island_ring.hpp"
-#include "ga/solution_pool.hpp"
+#include "evolve/adaptive_selector.hpp"
+#include "evolve/genetic_ops.hpp"
+#include "evolve/island_ring.hpp"
+#include "evolve/solution_pool.hpp"
 #include "rng/seeder.hpp"
 #include "test_helpers.hpp"
 

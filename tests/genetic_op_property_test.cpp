@@ -3,8 +3,8 @@
 // happens to select.
 #include <gtest/gtest.h>
 
-#include "ga/genetic_ops.hpp"
-#include "ga/solution_pool.hpp"
+#include "evolve/genetic_ops.hpp"
+#include "evolve/solution_pool.hpp"
 #include "test_helpers.hpp"
 
 namespace dabs {

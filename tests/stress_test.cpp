@@ -8,9 +8,9 @@
 
 #include "core/dabs_solver.hpp"
 #include "device/packet_queue.hpp"
-#include "ga/genetic_ops.hpp"
-#include "ga/island_ring.hpp"
-#include "ga/solution_pool.hpp"
+#include "evolve/genetic_ops.hpp"
+#include "evolve/island_ring.hpp"
+#include "evolve/solution_pool.hpp"
 #include "test_helpers.hpp"
 
 namespace dabs {
